@@ -1,0 +1,1 @@
+bench/bench_util.ml: Core Dna Hashtbl List Printf String Unix

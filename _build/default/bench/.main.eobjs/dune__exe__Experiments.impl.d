@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Bench_util Core Dna Fmindex List Printf Random String Suffix

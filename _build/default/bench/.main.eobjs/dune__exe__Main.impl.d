@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Experiments List Micro Printf String Sys

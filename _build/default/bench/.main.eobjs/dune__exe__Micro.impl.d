@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Bench_util Benchmark Core Dna Fmindex Hashtbl Instance List Measure Printf Random Staged String Suffix Test Time Toolkit

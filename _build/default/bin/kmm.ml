@@ -1,0 +1,222 @@
+(* kmm — k-mismatch matcher: command-line front end for the library.
+
+   Subcommands:
+     generate   synthesize a genome (FASTA)
+     simulate   sample wgsim-style reads from a genome (FASTA)
+     search     find a pattern in a genome with at most k mismatches
+     map        map a read file against a genome
+     bwt        print the BWT of a text (demonstration)                 *)
+
+open Cmdliner
+
+let read_genome path =
+  match Dna.Fasta.read_file path with
+  | [] -> failwith (path ^ ": no FASTA records")
+  | r :: _ -> r.Dna.Fasta.seq
+
+(* Either a FASTA genome (indexed on the fly) or a prebuilt .fmi index. *)
+let obtain_index ~genome ~index_file =
+  match (genome, index_file) with
+  | _, Some path -> Core.Kmismatch.load_index path
+  | Some path, None -> Core.Kmismatch.of_sequence (read_genome path)
+  | None, None -> failwith "one of --genome or --index is required"
+
+let genome_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "g"; "genome" ] ~docv:"FASTA" ~doc:"Genome FASTA file.")
+
+let index_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "i"; "index" ] ~docv:"FMI" ~doc:"Prebuilt index (see kmm index).")
+
+(* --- generate ------------------------------------------------------- *)
+
+let generate_cmd =
+  let run size seed repeat_fraction repeat_unit divergence rec_name out =
+    let profile =
+      {
+        Dna.Genome_gen.size;
+        repeat_fraction;
+        repeat_unit_len = repeat_unit;
+        divergence;
+        seed;
+      }
+    in
+    let genome = Dna.Genome_gen.generate profile in
+    let record = { Dna.Fasta.name = rec_name; seq = genome } in
+    (match out with
+    | None -> print_string (Dna.Fasta.to_string [ record ])
+    | Some path -> Dna.Fasta.write_file path [ record ]);
+    `Ok ()
+  in
+  let size =
+    Arg.(value & opt int 100_000 & info [ "size" ] ~docv:"N" ~doc:"Genome length.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let rf =
+    Arg.(
+      value & opt float 0.3
+      & info [ "repeat-fraction" ] ~doc:"Fraction covered by planted repeats.")
+  in
+  let ru =
+    Arg.(value & opt int 300 & info [ "repeat-unit" ] ~doc:"Repeat unit length.")
+  in
+  let div =
+    Arg.(value & opt float 0.02 & info [ "divergence" ] ~doc:"Repeat copy divergence.")
+  in
+  let rec_name = Arg.(value & opt string "synthetic" & info [ "name" ] ~doc:"Record name.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output FASTA.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a repeat-bearing genome")
+    Term.(ret (const run $ size $ seed $ rf $ ru $ div $ rec_name $ out))
+
+(* --- simulate ------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run genome count len error_rate both seed out =
+    let g = read_genome genome in
+    let cfg = { Dna.Read_sim.count; len; error_rate; both_strands = both; seed } in
+    let reads = Dna.Read_sim.simulate cfg g in
+    let records =
+      List.map
+        (fun r ->
+          {
+            Dna.Fasta.name =
+              Printf.sprintf "read%d origin=%d strand=%c errors=%d" r.Dna.Read_sim.id
+                r.Dna.Read_sim.origin
+                (if r.Dna.Read_sim.forward then '+' else '-')
+                r.Dna.Read_sim.errors;
+            seq = r.Dna.Read_sim.seq;
+          })
+        reads
+    in
+    (match out with
+    | None -> print_string (Dna.Fasta.to_string records)
+    | Some path -> Dna.Fasta.write_file path records);
+    `Ok ()
+  in
+  let genome =
+    Arg.(required & opt (some string) None & info [ "g"; "genome" ] ~docv:"FASTA" ~doc:"Genome.")
+  in
+  let count = Arg.(value & opt int 500 & info [ "n"; "count" ] ~doc:"Number of reads.") in
+  let len = Arg.(value & opt int 100 & info [ "l"; "length" ] ~doc:"Read length.") in
+  let er = Arg.(value & opt float 0.02 & info [ "e"; "error-rate" ] ~doc:"Substitution rate.") in
+  let both = Arg.(value & flag & info [ "both-strands" ] ~doc:"Sample both strands.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output FASTA.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate wgsim-style reads")
+    Term.(ret (const run $ genome $ count $ len $ er $ both $ seed $ out))
+
+(* --- search --------------------------------------------------------- *)
+
+let engine_conv =
+  let parse s =
+    match Core.Kmismatch.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown engine %S (expected one of: %s)" s
+               (String.concat ", " (List.map Core.Kmismatch.engine_name Core.Kmismatch.all_engines))))
+  in
+  Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (Core.Kmismatch.engine_name e))
+
+let search_cmd =
+  let run genome index_file pattern k engine verbose =
+    let idx = obtain_index ~genome ~index_file in
+    let stats = Core.Stats.create () in
+    let t0 = Unix.gettimeofday () in
+    let hits = Core.Kmismatch.search ~stats idx ~engine ~pattern ~k in
+    let dt = Unix.gettimeofday () -. t0 in
+    List.iter (fun (pos, d) -> Printf.printf "%d\t%d\n" pos d) hits;
+    if verbose then
+      Format.eprintf "engine=%s hits=%d time=%.4fs %a@." (Core.Kmismatch.engine_name engine)
+        (List.length hits) dt Core.Stats.pp stats;
+    `Ok ()
+  in
+  let pattern =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATTERN" ~doc:"Pattern (ACGT).")
+  in
+  let k = Arg.(value & opt int 0 & info [ "k" ] ~doc:"Mismatch budget.") in
+  let engine =
+    Arg.(value & opt engine_conv Core.Kmismatch.M_tree & info [ "engine" ] ~doc:"Engine.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print statistics.") in
+  Cmd.v
+    (Cmd.info "search" ~doc:"String matching with k mismatches")
+    Term.(ret (const run $ genome_arg $ index_arg $ pattern $ k $ engine $ verbose))
+
+(* --- map ------------------------------------------------------------ *)
+
+let map_cmd =
+  let run genome index_file reads k engine both_strands best =
+    let idx = obtain_index ~genome ~index_file in
+    let records = Dna.Fasta.read_file reads in
+    let inputs =
+      List.mapi (fun i r -> (i, Dna.Sequence.to_string r.Dna.Fasta.seq)) records
+    in
+    let hits, summary = Core.Mapper.map_reads ~engine ~both_strands idx ~reads:inputs ~k in
+    let hits = if best then Core.Mapper.best_hits hits else hits in
+    print_string (Core.Mapper.to_tsv hits);
+    Format.eprintf "mapped %d/%d reads (%d unique, %d ambiguous; k=%d, engine=%s)@."
+      summary.Core.Mapper.mapped summary.Core.Mapper.total summary.Core.Mapper.unique
+      summary.Core.Mapper.ambiguous k
+      (Core.Kmismatch.engine_name engine);
+    `Ok ()
+  in
+  let reads =
+    Arg.(required & opt (some string) None & info [ "r"; "reads" ] ~docv:"FASTA" ~doc:"Reads.")
+  in
+  let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Mismatch budget.") in
+  let engine =
+    Arg.(value & opt engine_conv Core.Kmismatch.M_tree & info [ "engine" ] ~doc:"Engine.")
+  in
+  let both =
+    Arg.(value & opt bool true & info [ "both-strands" ] ~doc:"Search both strands.")
+  in
+  let best = Arg.(value & flag & info [ "best" ] ~doc:"Keep only minimal-distance hits.") in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Map a read set against a genome")
+    Term.(ret (const run $ genome_arg $ index_arg $ reads $ k $ engine $ both $ best))
+
+(* --- index ---------------------------------------------------------- *)
+
+let index_cmd =
+  let run genome out =
+    let g = read_genome genome in
+    let idx = Core.Kmismatch.of_sequence g in
+    Core.Kmismatch.save_index idx out;
+    Format.eprintf "indexed %d bp -> %s@." (Core.Kmismatch.length idx) out;
+    `Ok ()
+  in
+  let genome =
+    Arg.(required & opt (some string) None & info [ "g"; "genome" ] ~docv:"FASTA" ~doc:"Genome.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FMI" ~doc:"Index file.")
+  in
+  Cmd.v
+    (Cmd.info "index" ~doc:"Build and save an FM-index of a genome")
+    Term.(ret (const run $ genome $ out))
+
+(* --- bwt ------------------------------------------------------------ *)
+
+let bwt_cmd =
+  let run text =
+    print_endline (Fmindex.Bwt.of_text (Dna.Sequence.to_string (Dna.Sequence.of_string text)));
+    `Ok ()
+  in
+  let text = Arg.(required & pos 0 (some string) None & info [] ~docv:"TEXT" ~doc:"Text.") in
+  Cmd.v (Cmd.info "bwt" ~doc:"Print BWT(text$)") Term.(ret (const run $ text))
+
+let () =
+  let doc = "string matching with k mismatches over BWT arrays (ICDE'17 reproduction)" in
+  let info = Cmd.info "kmm" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; simulate_cmd; index_cmd; search_cmd; map_cmd; bwt_cmd ]))

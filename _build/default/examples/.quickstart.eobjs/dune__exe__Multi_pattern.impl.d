@@ -1,0 +1,1 @@
+examples/multi_pattern.ml: Array Core Dna Fmindex List Printf String Stringmatch Suffix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Fmindex Format List Printf String

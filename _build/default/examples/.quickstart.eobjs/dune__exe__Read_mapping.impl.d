@@ -1,0 +1,1 @@
+examples/read_mapping.ml: Core Dna Filename List Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/snp_scan.ml: Core Dna List Printf Random String Stringmatch

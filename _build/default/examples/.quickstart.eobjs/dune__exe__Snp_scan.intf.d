@@ -1,0 +1,1 @@
+examples/snp_scan.mli:

@@ -1,0 +1,50 @@
+(* Multi-pattern session: amortize one index over many queries, mixing
+   exact search (plain FM backward search), k-mismatch search (Algorithm
+   A), and multi-string exact search (Aho-Corasick) — the library's three
+   query styles side by side.
+
+     dune exec examples/multi_pattern.exe                                *)
+
+let () =
+  let genome =
+    Dna.Genome_gen.generate
+      { Dna.Genome_gen.default with size = 50_000; seed = 99; repeat_fraction = 0.4 }
+  in
+  let text = Dna.Sequence.to_string genome in
+  let index = Core.Kmismatch.build_index text in
+
+  (* 1. Exact queries, three index families side by side (the paper's
+     SS:II inventory): FM-index backward search, suffix-array binary
+     search, suffix-tree walk. *)
+  let fm = Fmindex.Fm_index.build text in
+  let sa = Suffix.Sa_search.build text in
+  let tree = Core.Kmismatch.suffix_tree index in
+  let probes = [ String.sub text 1000 12; String.sub text 30_000 15; "acgtacgtacgtacg" ] in
+  print_endline "exact (FM-index / suffix array / suffix tree):";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-16s fm=%d sa=%d tree=%b\n" p (Fmindex.Fm_index.count fm p)
+        (Suffix.Sa_search.count sa p)
+        (Suffix.Suffix_tree.contains tree p))
+    probes;
+
+  (* 2. k-mismatch queries through Algorithm A, reusing one index. *)
+  print_endline "\nk-mismatch (Algorithm A):";
+  List.iter
+    (fun (p, k) ->
+      let hits = Core.Kmismatch.search index ~engine:Core.Kmismatch.M_tree ~pattern:p ~k in
+      Printf.printf "  %-20s k=%d  %d occurrence(s)\n" p k (List.length hits))
+    [
+      (String.sub text 1000 20, 2);
+      (String.sub text 25_000 30, 3);
+      ("acgtacgtacgtacgtacgt", 4);
+    ];
+
+  (* 3. Multi-string exact search in a single pass (Aho-Corasick). *)
+  let motifs = [| "tataaa"; "caat"; "gggcgg" |] in
+  let ac = Stringmatch.Aho_corasick.build motifs in
+  let counts = Array.make (Array.length motifs) 0 in
+  Stringmatch.Aho_corasick.scan ac text ~f:(fun ~pattern ~pos:_ ->
+      counts.(pattern) <- counts.(pattern) + 1);
+  print_endline "\nmotif counts (Aho-Corasick, one pass):";
+  Array.iteri (fun i m -> Printf.printf "  %-8s %d\n" m counts.(i)) motifs

@@ -1,0 +1,1 @@
+lib/core/amir.ml: Array List Stats String Stringmatch

@@ -1,0 +1,1 @@
+lib/core/cole.ml: List Stats String Suffix

@@ -1,0 +1,1 @@
+lib/core/cole.mli: Stats Suffix

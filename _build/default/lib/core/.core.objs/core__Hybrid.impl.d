@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Array Dna Fmindex List S_tree Stats String

@@ -1,0 +1,1 @@
+lib/core/kmismatch.ml: Amir Cole Dna Fmindex Hybrid Lazy List M_tree S_tree String Stringmatch Suffix

@@ -1,0 +1,1 @@
+lib/core/kmismatch.mli: Dna Fmindex M_tree Stats Suffix

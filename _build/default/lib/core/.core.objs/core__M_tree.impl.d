@@ -1,0 +1,1 @@
+lib/core/m_tree.ml: Array Dna Fmindex Hashtbl Int_table List Mismatch_array S_tree Stats String

@@ -1,0 +1,1 @@
+lib/core/m_tree.mli: Fmindex Stats

@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Buffer Dna Hashtbl Kmismatch List Printf

@@ -1,0 +1,1 @@
+lib/core/mismatch_array.ml: Array List String Suffix

@@ -1,0 +1,1 @@
+lib/core/mismatch_tree.ml: Array Dna Fmindex Format List String

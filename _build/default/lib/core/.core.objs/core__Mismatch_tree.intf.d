@@ -1,0 +1,1 @@
+lib/core/mismatch_tree.mli: Fmindex Format

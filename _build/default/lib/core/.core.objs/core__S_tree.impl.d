@@ -1,0 +1,1 @@
+lib/core/s_tree.ml: Array Dna Fmindex List Stats String

@@ -1,0 +1,1 @@
+lib/core/s_tree.mli: Fmindex Stats

@@ -1,0 +1,60 @@
+let blocks ~pattern ~k =
+  let m = String.length pattern in
+  if k = 0 then []
+  else begin
+    let b = 2 * k in
+    let len = m / b in
+    if len < 2 then []
+    else
+      List.init b (fun i -> (i * len, String.sub pattern (i * len) len))
+  end
+
+(* Early-abort window verification: O(m) worst case but O(k) on the
+   overwhelmingly common quick rejections. *)
+let distance_within pattern text pos k =
+  let m = String.length pattern in
+  let rec go j d =
+    if d > k then None
+    else if j >= m then Some d
+    else go (j + 1) (if pattern.[j] = text.[pos + j] then d else d + 1)
+  in
+  go 0 0
+
+let search ?stats ~pattern ~k text =
+  if pattern = "" then invalid_arg "Amir.search: empty pattern";
+  if k < 0 then invalid_arg "Amir.search: negative k";
+  let m = String.length pattern and n = String.length text in
+  ignore (stats : Stats.t option);
+  if m > n then []
+  else if k = 0 then
+    List.map (fun p -> (p, 0)) (Stringmatch.Kmp.find_all ~pattern ~text)
+  else begin
+    let verify candidates =
+      List.filter_map
+        (fun pos ->
+          match distance_within pattern text pos k with
+          | Some d -> Some (pos, d)
+          | None -> None)
+        candidates
+    in
+    match blocks ~pattern ~k with
+    | [] ->
+        (* Pattern too short for 2k blocks: verify every position (Amir's
+           algorithm also special-cases such patterns). *)
+        verify (List.init (n - m + 1) (fun i -> i))
+    | bs ->
+        let offsets = Array.of_list (List.map fst bs) in
+        let ac = Stringmatch.Aho_corasick.build (Array.of_list (List.map snd bs)) in
+        let marks = Array.make (n - m + 1) 0 in
+        Stringmatch.Aho_corasick.scan ac text ~f:(fun ~pattern ~pos ->
+            let candidate = pos - offsets.(pattern) in
+            if candidate >= 0 && candidate <= n - m then
+              marks.(candidate) <- marks.(candidate) + 1);
+        (* 2k blocks and <= k mismatches leave >= k intact blocks. *)
+        let threshold = k in
+        let candidates = ref [] in
+        for pos = n - m downto 0 do
+          if marks.(pos) >= threshold then candidates := pos :: !candidates
+        done;
+        verify !candidates
+  end

@@ -1,0 +1,46 @@
+module St = Suffix.Suffix_tree
+
+let search ?stats tree ~pattern ~k =
+  if pattern = "" then invalid_arg "Cole.search: empty pattern";
+  if k < 0 then invalid_arg "Cole.search: negative k";
+  let m = String.length pattern in
+  let text = St.text tree in
+  let bump (f : Stats.t -> unit) = match stats with Some s -> f s | None -> () in
+  let results = ref [] in
+  let report node q =
+    (* Every leaf below the locus starts an occurrence of the (mutated)
+       window; the sentinel guarantees the window fits in the text. *)
+    List.iter (fun p -> results := (p, q) :: !results) (St.leaves_below tree node)
+  in
+  (* [descend node off i q]: [off] characters of the edge into [node] are
+     consumed, [i] pattern characters matched so far, [q] mismatches. *)
+  let rec descend node off i q =
+    if i = m then begin
+      bump (fun s -> s.leaves <- s.leaves + 1);
+      report node q
+    end
+    else begin
+      let start, len = St.edge tree node in
+      if off < len then begin
+        let c = text.[start + off] in
+        (* The sentinel marks the end of the text: no window can cross
+           it. *)
+        if c <> '$' then begin
+          let q' = if c = pattern.[i] then q else q + 1 in
+          if q' <= k then descend node (off + 1) (i + 1) q'
+          else bump (fun s -> s.leaves <- s.leaves + 1)
+        end
+      end
+      else begin
+        List.iter
+          (fun (c, child) ->
+            if c <> '$' then begin
+              bump (fun s -> s.nodes <- s.nodes + 1);
+              descend child 0 i q
+            end)
+          (St.children tree node)
+      end
+    end
+  in
+  descend (St.root tree) 0 0 0;
+  List.sort compare !results

@@ -1,0 +1,69 @@
+module Fm = Fmindex.Fm_index
+
+let search ?(use_delta = true) ?stats fm ~text ~pattern ~k =
+  if pattern = "" then invalid_arg "Hybrid.search: empty pattern";
+  if k < 0 then invalid_arg "Hybrid.search: negative k";
+  String.iter
+    (fun c ->
+      if not (Dna.Alphabet.is_base c && c = Dna.Alphabet.normalize c) then
+        invalid_arg "Hybrid.search: pattern must be lowercase acgt")
+    pattern;
+  let m = String.length pattern in
+  let n = Fm.length fm in
+  if n <> String.length text then
+    invalid_arg "Hybrid.search: index and text lengths differ";
+  let bump (f : Stats.t -> unit) = match stats with Some s -> f s | None -> () in
+  if m > n then []
+  else begin
+    let delta =
+      if use_delta then S_tree.delta_heuristic fm ~pattern
+      else Array.make (m + 2) 0
+    in
+    let pat_codes = Array.init m (fun i -> Dna.Alphabet.code pattern.[i]) in
+    let results = ref [] in
+    let report iv q =
+      List.iter (fun p -> results := (n - p - m, q) :: !results) (Fm.locate fm iv)
+    in
+    (* Direct verification of the window once its start is pinned down:
+       [j] pattern characters already matched with [q] mismatches. *)
+    let verify pos j q =
+      if pos + m <= n then begin
+        let rec go j q =
+          if q > k then ()
+          else if j = m then results := (pos, q) :: !results
+          else go (j + 1) (if text.[pos + j] = pattern.[j] then q else q + 1)
+        in
+        go j q
+      end
+    in
+    let rec expand iv j q =
+      let lo, hi = iv in
+      if j = m then begin
+        bump (fun s -> s.leaves <- s.leaves + 1);
+        report iv q
+      end
+      else if hi - lo = 1 then begin
+        (* Unique candidate: leave the BWT and compare text directly. *)
+        bump (fun s -> s.resumes <- s.resumes + 1);
+        match Fm.locate fm iv with
+        | [ p_rev ] -> verify (n - p_rev - j) j q
+        | _ -> assert false
+      end
+      else begin
+        let los = Array.make 5 0 and his = Array.make 5 0 in
+        bump (fun s -> s.rank_calls <- s.rank_calls + 2);
+        Fm.extend_all fm iv ~los ~his;
+        for c = 1 to 4 do
+          if los.(c) < his.(c) then begin
+            let q' = if c = pat_codes.(j) then q else q + 1 in
+            if q' <= k && ((not use_delta) || k - q' >= delta.(j + 2)) then begin
+              bump (fun s -> s.nodes <- s.nodes + 1);
+              expand (los.(c), his.(c)) (j + 1) q'
+            end
+          end
+        done
+      end
+    in
+    expand (Fm.whole fm) 0 0;
+    List.sort compare !results
+  end

@@ -1,0 +1,21 @@
+(** Hybrid FM-index + verification engine (an extension beyond the paper).
+
+    Identical to the S-tree search while BWT intervals are wide, but the
+    moment an interval narrows to a single row the unique candidate
+    position is located and the rest of the pattern is checked directly
+    against the text — no further rank operations.  This is how practical
+    read aligners in the BWA family treat the deep, unary part of the
+    search tree, and it is the natural modern baseline to measure the
+    paper's derivation machinery against (see the ablation bench). *)
+
+val search :
+  ?use_delta:bool ->
+  ?stats:Stats.t ->
+  Fmindex.Fm_index.t ->
+  text:string ->
+  pattern:string ->
+  k:int ->
+  (int * int) list
+(** [search fm_rev ~text ~pattern ~k]: [fm_rev] indexes [rev text]; the
+    forward [text] is used for direct verification.  Same contract as
+    {!S_tree.search}. *)

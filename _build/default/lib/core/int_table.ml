@@ -1,0 +1,64 @@
+type 'a t = {
+  mutable keys : int array;  (* -1 = empty *)
+  mutable vals : 'a array;
+  mutable size : int;
+  mutable mask : int;  (* capacity - 1, capacity a power of two *)
+  dummy : 'a;
+}
+
+let rec pow2 n c = if c >= n then c else pow2 n (c * 2)
+
+let create ~dummy cap =
+  let cap = pow2 (max cap 8) 8 in
+  {
+    keys = Array.make cap (-1);
+    vals = Array.make cap dummy;
+    size = 0;
+    mask = cap - 1;
+    dummy;
+  }
+
+(* Multiplicative hashing, folding in the high bits so that consecutive
+   packed keys spread instead of clustering under linear probing. *)
+let slot t key =
+  let h = key * 0x2545F4914F6CDD1D in
+  ((h lsr 32) lxor h) land t.mask
+
+let rec probe keys mask key i =
+  let k = Array.unsafe_get keys i in
+  if k = key || k = -1 then i else probe keys mask key ((i + 1) land mask)
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap (-1);
+  t.vals <- Array.make cap t.dummy;
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let j = probe t.keys t.mask k (slot t k) in
+        Array.unsafe_set t.keys j k;
+        Array.unsafe_set t.vals j (Array.unsafe_get old_vals i)
+      end)
+    old_keys
+
+let find t key =
+  if key < 0 then invalid_arg "Int_table.find: negative key";
+  let i = probe t.keys t.mask key (slot t key) in
+  if Array.unsafe_get t.keys i = key then Some (Array.unsafe_get t.vals i)
+  else None
+
+let replace t key v =
+  if key < 0 then invalid_arg "Int_table.replace: negative key";
+  let i = probe t.keys t.mask key (slot t key) in
+  if Array.unsafe_get t.keys i <> key then begin
+    Array.unsafe_set t.keys i key;
+    Array.unsafe_set t.vals i v;
+    t.size <- t.size + 1;
+    (* Keep the load factor at or below one half. *)
+    if t.size * 2 > t.mask + 1 then grow t
+  end
+  else Array.unsafe_set t.vals i v
+
+let length t = t.size

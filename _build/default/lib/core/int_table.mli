@@ -1,0 +1,20 @@
+(** Open-addressing hash table with nonnegative integer keys.
+
+    The M-tree search performs one lookup and often one insert per node;
+    [Hashtbl] with boxed keys costs ~0.5us per operation, which at millions
+    of nodes dominates the whole search.  Linear probing over two flat
+    arrays brings this down by an order of magnitude. *)
+
+type 'a t
+
+val create : dummy:'a -> int -> 'a t
+(** [create ~dummy cap] makes a table with initial capacity at least
+    [cap].  [dummy] fills empty value slots and is never returned. *)
+
+val find : 'a t -> int -> 'a option
+(** Raises [Invalid_argument] on negative keys. *)
+
+val replace : 'a t -> int -> 'a -> unit
+(** Insert or overwrite.  Raises [Invalid_argument] on negative keys. *)
+
+val length : 'a t -> int

@@ -1,0 +1,68 @@
+type engine = M_tree | S_tree | S_tree_no_delta | Hybrid | Cole | Amir | Kangaroo | Naive
+
+let all_engines = [ M_tree; S_tree; S_tree_no_delta; Hybrid; Cole; Amir; Kangaroo; Naive ]
+
+let engine_name = function
+  | M_tree -> "m-tree"
+  | S_tree -> "s-tree"
+  | S_tree_no_delta -> "s-tree-nodelta"
+  | Hybrid -> "hybrid"
+  | Cole -> "cole"
+  | Amir -> "amir"
+  | Kangaroo -> "kangaroo"
+  | Naive -> "naive"
+
+let engine_of_string s =
+  List.find_opt (fun e -> engine_name e = String.lowercase_ascii s) all_engines
+
+type index = {
+  text : string;
+  fm_rev : Fmindex.Fm_index.t;
+  tree : Suffix.Suffix_tree.t Lazy.t;
+}
+
+let build_index ?occ_rate ?sa_rate raw =
+  let text = Dna.Sequence.to_string (Dna.Sequence.of_string raw) in
+  let rev = Dna.Sequence.to_string (Dna.Sequence.rev (Dna.Sequence.of_string text)) in
+  {
+    text;
+    fm_rev = Fmindex.Fm_index.build ?occ_rate ?sa_rate rev;
+    tree = lazy (Suffix.Suffix_tree.build text);
+  }
+
+let of_sequence seq = build_index (Dna.Sequence.to_string seq)
+let text t = t.text
+let length t = String.length t.text
+let fm_rev t = t.fm_rev
+let suffix_tree t = Lazy.force t.tree
+
+let search ?stats ?config t ~engine ~pattern ~k =
+  let pattern = Dna.Sequence.to_string (Dna.Sequence.of_string pattern) in
+  if pattern = "" then invalid_arg "Kmismatch.search: empty pattern";
+  if k < 0 then invalid_arg "Kmismatch.search: negative k";
+  match engine with
+  | M_tree -> M_tree.search ?config ?stats t.fm_rev ~pattern ~k
+  | S_tree -> S_tree.search ~use_delta:true ?stats t.fm_rev ~pattern ~k
+  | S_tree_no_delta -> S_tree.search ~use_delta:false ?stats t.fm_rev ~pattern ~k
+  | Hybrid -> Hybrid.search ?stats t.fm_rev ~text:t.text ~pattern ~k
+  | Cole -> Cole.search ?stats (Lazy.force t.tree) ~pattern ~k
+  | Amir -> Amir.search ?stats ~pattern ~k t.text
+  | Kangaroo ->
+      if String.length pattern > String.length t.text then []
+      else Stringmatch.Kangaroo.search ~pattern ~text:t.text ~k
+  | Naive ->
+      if String.length pattern > String.length t.text then []
+      else Stringmatch.Hamming.search ~pattern ~text:t.text ~k
+
+let positions ?stats t ~engine ~pattern ~k =
+  List.map fst (search ?stats t ~engine ~pattern ~k)
+
+let save_index t path = Fmindex.Fm_index.save t.fm_rev path
+
+let load_index path =
+  let fm_rev = Fmindex.Fm_index.load path in
+  let text =
+    Dna.Sequence.to_string
+      (Dna.Sequence.rev (Dna.Sequence.of_string (Fmindex.Fm_index.text fm_rev)))
+  in
+  { text; fm_rev; tree = lazy (Suffix.Suffix_tree.build text) }

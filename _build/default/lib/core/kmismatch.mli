@@ -1,0 +1,58 @@
+(** Unified front door for string matching with k mismatches.
+
+    An {!index} is built once per target and shared by all engines; each
+    engine then answers queries [(pattern, k)] with the full list of
+    [(position, distance)] occurrences.  All engines return identical
+    results — they differ only in cost:
+
+    - [M_tree]: the paper's Algorithm A, O(kn' + n + m log m);
+    - [S_tree]: the BWT baseline of ref. [34] with the delta heuristic;
+    - [Cole]: suffix-tree brute force (ref. [14]);
+    - [Amir]: online mark-and-verify (ref. [2]);
+    - [Hybrid]: FM search to a unique row, then direct verification (an
+      extension beyond the paper, in the style of practical aligners);
+    - [Kangaroo]: online O(kn) Landau-Vishkin;
+    - [Naive]: online O(mn) scanning. *)
+
+type engine = M_tree | S_tree | S_tree_no_delta | Hybrid | Cole | Amir | Kangaroo | Naive
+
+val all_engines : engine list
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+type index
+
+val build_index : ?occ_rate:int -> ?sa_rate:int -> string -> index
+(** Build the shared index of a target text (lowercase [acgt]; validated).
+    The FM-index of the reversed text is built eagerly; the suffix tree
+    (used only by [Cole]) lazily. *)
+
+val of_sequence : Dna.Sequence.t -> index
+val text : index -> string
+val length : index -> int
+val fm_rev : index -> Fmindex.Fm_index.t
+val suffix_tree : index -> Suffix.Suffix_tree.t
+
+val search :
+  ?stats:Stats.t ->
+  ?config:M_tree.config ->
+  index ->
+  engine:engine ->
+  pattern:string ->
+  k:int ->
+  (int * int) list
+(** All [(position, distance)] with [distance <= k], ascending by
+    position.  The pattern is normalized (case); raises [Invalid_argument]
+    if it is empty, contains non-ACGT characters, or [k < 0]. *)
+
+val positions :
+  ?stats:Stats.t -> index -> engine:engine -> pattern:string -> k:int -> int list
+(** Positions only. *)
+
+val save_index : index -> string -> unit
+(** Persist the index (its FM component; ~n/4 bytes).  The suffix tree is
+    rebuilt lazily on demand after {!load_index}. *)
+
+val load_index : string -> index
+(** Reload an index written by {!save_index}.  Raises [Failure] on
+    invalid files. *)

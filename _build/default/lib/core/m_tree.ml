@@ -1,0 +1,351 @@
+module Fm = Fmindex.Fm_index
+
+type config = { chain_skip : bool; use_delta : bool; store_width : int }
+
+let default_config = { chain_skip = true; use_delta = true; store_width = 2 }
+
+(* Terminal state of a stored node. *)
+type term =
+  | Inner  (* has explored children *)
+  | Complete  (* reached depth m: an occurrence *)
+  | Budget_killed  (* extensions existed but all exceeded the budget *)
+  | Text_dead  (* no extension exists in the text *)
+  | Derived of int  (* stub: subtree derived from the node first seen at
+                       the recorded shallower depth *)
+
+type dnode = {
+  char_code : int;  (* path character at this depth *)
+  depth : int;  (* 1-based; equals the pattern position compared *)
+  is_mismatch : bool;  (* w.r.t. the pattern position [depth] *)
+  interval : int * int;  (* BWT interval after this character *)
+  miss : int;  (* mismatches on the path up to here *)
+  mutable children : dnode list;
+  mutable skipped : (int * (int * int)) list;
+      (* budget-skipped branches: character code and its interval *)
+  mutable term : term;
+  mutable open_ : bool;  (* exploration still on the DFS stack *)
+  mutable chain : dnode array option;
+      (* memoized maximal match run hanging below this node *)
+}
+
+let search ?(config = default_config) ?stats fm ~pattern ~k =
+  if pattern = "" then invalid_arg "M_tree.search: empty pattern";
+  if k < 0 then invalid_arg "M_tree.search: negative k";
+  String.iter
+    (fun c ->
+      if not (Dna.Alphabet.is_base c && c = Dna.Alphabet.normalize c) then
+        invalid_arg "M_tree.search: pattern must be lowercase acgt")
+    pattern;
+  let m = String.length pattern in
+  let n = Fm.length fm in
+  let bump (f : Stats.t -> unit) = match stats with Some s -> f s | None -> () in
+  if m > n then []
+  else begin
+    let mi = Mismatch_array.build pattern ~k in
+    let rij_limit = (2 * k) + 3 in
+    let rij_cache : (int * int, int array) Hashtbl.t = Hashtbl.create 16 in
+    let rij ~i ~j =
+      match Hashtbl.find_opt rij_cache (i, j) with
+      | Some a -> a
+      | None ->
+          let a = Mismatch_array.pairwise_lce mi ~i ~j ~limit:rij_limit in
+          Hashtbl.add rij_cache (i, j) a;
+          a
+    in
+    let results = ref [] in
+    let report iv q =
+      List.iter (fun p -> results := (n - p - m, q) :: !results) (Fm.locate fm iv)
+    in
+    (* The hash key is the interval alone: equal intervals imply equal
+       first characters (every row in the interval starts with the node's
+       character), so the paper's <x, [lo, hi]> triple packs into one
+       integer. *)
+    let dummy_node =
+      {
+        char_code = 0;
+        depth = 0;
+        is_mismatch = false;
+        interval = (0, 0);
+        miss = 0;
+        children = [];
+        skipped = [];
+        term = Inner;
+        open_ = false;
+        chain = None;
+      }
+    in
+    let htbl : dnode Int_table.t = Int_table.create ~dummy:dummy_node 4096 in
+    let pack lo hi = (lo * (n + 2)) + hi in
+    let store_width = max 1 config.store_width in
+    (* delta.(i) lower-bounds the mismatches any window must spend on
+       r[i ..]; sound for pruning under *any* alignment at position i. *)
+    let delta =
+      if config.use_delta then S_tree.delta_heuristic fm ~pattern
+      else Array.make (m + 2) 0
+    in
+    let pat_codes = Array.init m (fun i -> Dna.Alphabet.code pattern.[i]) in
+    let pat_code d = Array.unsafe_get pat_codes (d - 1) in
+
+    (* --- Derivation -------------------------------------------------- *)
+    (* A node [v] at depth [j] repeats the pair of [prior] at depth [i < j].
+       The stored subtree below [prior] is walked with the alignment shifted
+       by [j - i]: the stored node at depth [d] stands for the derived path
+       position [d - i + j].  A stored match node mismatches the derived
+       alignment exactly when R_ij has an entry at offset [d - i]. *)
+    let rec derive ~prior ~i ~j ~dmiss =
+      let d_star = m - j + i in
+      (* stored depth at which the derived path completes *)
+      let table = if config.chain_skip then rij ~i ~j else [||] in
+      let reliable_x =
+        if Array.length table < rij_limit then max_int
+        else table.(Array.length table - 1)
+      in
+      let resume code iv p q =
+        bump (fun s -> s.resumes <- s.resumes + 1);
+        let lo, hi = iv in
+        if hi - lo >= store_width then ignore (visit code iv p q None)
+        else explore_light iv p q
+      in
+      let handle_skipped w dmiss =
+        List.iter
+          (fun (code, iv) ->
+            let p' = w.depth + 1 - i + j in
+            let q' = if code = pat_code p' then dmiss else dmiss + 1 in
+            if q' <= k && k - q' >= delta.(p' + 1) then resume code iv p' q')
+          w.skipped
+      in
+      (* Walk the subtree *below* [w]; [dmiss] includes [w] itself. *)
+      let rec walk_children w dmiss =
+        if w.depth = d_star then begin
+          bump (fun s -> s.derived_leaves <- s.derived_leaves + 1);
+          report w.interval dmiss
+        end
+        else begin
+          match w.term with
+          | Derived _ ->
+              (* Stub: no stored subtree; fall back to a real search. *)
+              resume_below w dmiss
+          | Inner | Complete | Budget_killed | Text_dead ->
+              if w.children = [] && w.skipped = [] then
+                bump (fun s -> s.derived_leaves <- s.derived_leaves + 1)
+              else begin
+                List.iter (fun c -> walk c dmiss) w.children;
+                handle_skipped w dmiss
+              end
+        end
+      (* Resume a real search for all continuations below a stub node. *)
+      and resume_below w dmiss =
+        let p = w.depth - i + j in
+        let los = Array.make 5 0 and his = Array.make 5 0 in
+        bump (fun s -> s.rank_calls <- s.rank_calls + 2);
+        Fm.extend_all fm w.interval ~los ~his;
+        for c = 1 to 4 do
+          if los.(c) < his.(c) then begin
+            let q' = if c = pat_code (p + 1) then dmiss else dmiss + 1 in
+            if q' <= k && k - q' >= delta.(p + 2) then
+              resume c (los.(c), his.(c)) (p + 1) q'
+          end
+        done
+      (* Enter stored node [w]; [dmiss] is the derived count above it. *)
+      and walk w dmiss =
+        match chain_of w with
+        | Some arr when config.chain_skip -> walk_chain w arr dmiss
+        | _ ->
+            let p = w.depth - i + j in
+            let dmiss =
+              if w.char_code = pat_code p then dmiss else dmiss + 1
+            in
+            if dmiss > k || k - dmiss < delta.(p + 1) then
+              bump (fun s -> s.derived_leaves <- s.derived_leaves + 1)
+            else walk_children w dmiss
+      (* Jump across the match run [arr] below [w]'s parent edge.  All run
+         nodes are stored match nodes, so the derived mismatches inside it
+         are exactly the R_ij entries at the run's offsets. *)
+      and walk_chain first arr dmiss =
+        let d_first = first.depth in
+        let last = arr.(Array.length arr - 1) in
+        let d_end = min last.depth d_star in
+        let x_first = d_first - i and x_end = d_end - i in
+        if x_end > reliable_x then begin
+          (* Beyond the table's reliable horizon: process the run node by
+             node with direct comparisons (rare; see interface notes). *)
+          walk_plain first dmiss
+        end
+        else begin
+          (* Count R_ij entries with offset in [x_first .. x_end]; the
+             budget dies at the (k - dmiss + 1)-th of them. *)
+          let len = Array.length table in
+          let rec lower lo hi =
+            if lo >= hi then lo
+            else begin
+              let mid = (lo + hi) / 2 in
+              if table.(mid) < x_first then lower (mid + 1) hi else lower lo mid
+            end
+          in
+          let start = lower 0 len in
+          let rec count idx dmiss =
+            if idx >= len || table.(idx) > x_end then `Alive dmiss
+            else if dmiss + 1 > k then `Dead
+            else count (idx + 1) (dmiss + 1)
+          in
+          match count start dmiss with
+          | `Dead -> bump (fun s -> s.derived_leaves <- s.derived_leaves + 1)
+          | `Alive dmiss ->
+              if d_star <= last.depth then begin
+                (* The derived path completes inside (or at the end of)
+                   the run; the node at that depth holds the interval. *)
+                bump (fun s -> s.derived_leaves <- s.derived_leaves + 1);
+                report arr.(d_star - d_first).interval dmiss
+              end
+              else walk_children last dmiss
+        end
+      and walk_plain w dmiss =
+        let p = w.depth - i + j in
+        let dmiss = if w.char_code = pat_code p then dmiss else dmiss + 1 in
+        if dmiss > k || k - dmiss < delta.(p + 1) then
+          bump (fun s -> s.derived_leaves <- s.derived_leaves + 1)
+        else walk_children w dmiss
+      (* The maximal run of unary, no-skip, stored-match nodes starting at
+         [w] itself (when [w] is a match node), memoized on [w]. *)
+      and chain_of w =
+        if w.is_mismatch then None
+        else begin
+          match w.chain with
+          | Some arr -> Some arr
+          | None ->
+              let rec gather u acc =
+                match (u.children, u.skipped) with
+                | [ child ], [] when not child.is_mismatch ->
+                    gather child (child :: acc)
+                | _ -> List.rev acc
+              in
+              let arr = Array.of_list (gather w [ w ]) in
+              w.chain <- Some arr;
+              Some arr
+        end
+      in
+      bump (fun s -> s.derivations <- s.derivations + 1);
+      (* [prior.depth < d_star] always holds here (j < m), so this walks
+         the stored children/skipped branches of [prior] directly. *)
+      walk_children prior dmiss
+
+    (* --- Exploration ------------------------------------------------- *)
+    and visit code iv j q parent =
+      let node =
+        {
+          char_code = code;
+          depth = j;
+          is_mismatch = code <> pat_code j;
+          interval = iv;
+          miss = q;
+          children = [];
+          skipped = [];
+          term = Inner;
+          open_ = false;
+          chain = None;
+        }
+      in
+      (match parent with Some p -> p.children <- node :: p.children | None -> ());
+      bump (fun s -> s.nodes <- s.nodes + 1);
+      if j = m then begin
+        node.term <- Complete;
+        bump (fun s -> s.leaves <- s.leaves + 1);
+        report iv q
+      end
+      else begin
+        let lo, hi = iv in
+        let key = pack lo hi in
+        match Int_table.find htbl key with
+        | Some prior when prior.depth < j && not prior.open_ ->
+            node.term <- Derived prior.depth;
+            derive ~prior ~i:prior.depth ~j ~dmiss:q
+        | Some prior when prior.depth > j && not prior.open_ ->
+            (* Keep the shallowest occurrence in the table (the paper's
+               "always use the one compared to r[i] with the least i"). *)
+            Int_table.replace htbl key node;
+            expand node
+        | Some _ -> expand node
+        | None ->
+            Int_table.replace htbl key node;
+            expand node
+      end;
+      node
+
+    and expand node =
+      node.open_ <- true;
+      let any_ext = ref false in
+      let any_light = ref false in
+      let los = Array.make 5 0 and his = Array.make 5 0 in
+      bump (fun s -> s.rank_calls <- s.rank_calls + 2);
+      Fm.extend_all fm node.interval ~los ~his;
+      for c = 1 to 4 do
+        let lo = los.(c) and hi = his.(c) in
+        if lo < hi then begin
+          any_ext := true;
+          let q' =
+            if c = pat_code (node.depth + 1) then node.miss else node.miss + 1
+          in
+          if q' <= k && k - q' >= delta.(node.depth + 2) then begin
+            if hi - lo >= store_width then
+              ignore (visit c (lo, hi) (node.depth + 1) q' (Some node))
+            else begin
+              (* Narrow interval: its subtree is a near-chain that costs
+                 more to materialize than derivation could ever save.
+                 Explore it without storing nodes, and record it like a
+                 skipped branch so derivations resume it exactly. *)
+              node.skipped <- (c, (lo, hi)) :: node.skipped;
+              any_light := true;
+              explore_light (lo, hi) (node.depth + 1) q'
+            end
+          end
+          else node.skipped <- (c, (lo, hi)) :: node.skipped
+        end
+      done;
+      node.open_ <- false;
+      if node.children = [] then begin
+        node.term <- (if !any_ext then Budget_killed else Text_dead);
+        (* A light child continues the path, so the node is not a leaf. *)
+        if not !any_light then bump (fun s -> s.leaves <- s.leaves + 1)
+      end
+
+    (* Allocation-free S-tree exploration of a narrow subtree. *)
+    and explore_light iv j q =
+      bump (fun s -> s.nodes <- s.nodes + 1);
+      if j = m then begin
+        bump (fun s -> s.leaves <- s.leaves + 1);
+        report iv q
+      end
+      else begin
+        let los = Array.make 5 0 and his = Array.make 5 0 in
+        bump (fun s -> s.rank_calls <- s.rank_calls + 2);
+        Fm.extend_all fm iv ~los ~his;
+        let died = ref true in
+        for c = 1 to 4 do
+          if los.(c) < his.(c) then begin
+            let q' = if c = pat_code (j + 1) then q else q + 1 in
+            if q' <= k && k - q' >= delta.(j + 2) then begin
+              died := false;
+              explore_light (los.(c), his.(c)) (j + 1) q'
+            end
+          end
+        done;
+        if !died then bump (fun s -> s.leaves <- s.leaves + 1)
+      end
+    in
+
+    (* Virtual root: depth 0, full interval (the paper's <-, [1, n+1]>). *)
+    (let los = Array.make 5 0 and his = Array.make 5 0 in
+     bump (fun s -> s.rank_calls <- s.rank_calls + 2);
+     Fm.extend_all fm (Fm.whole fm) ~los ~his;
+     for c = 1 to 4 do
+       if los.(c) < his.(c) then begin
+         let q = if c = pat_code 1 then 0 else 1 in
+         if q <= k && k - q >= delta.(2) then begin
+           if his.(c) - los.(c) >= store_width then
+             ignore (visit c (los.(c), his.(c)) 1 q None)
+           else explore_light (los.(c), his.(c)) 1 q
+         end
+       end
+     done);
+    List.sort compare !results
+  end

@@ -1,0 +1,57 @@
+(** Algorithm A (paper §IV): k-mismatch search over a BWT array with
+    mismatch-information reuse through a mismatching tree.
+
+    The search explores the same tree as {!S_tree} but keeps every explored
+    node in a hash table keyed by its pair [<x, [lo, hi]>].  When a pair
+    reappears at a deeper pattern position, the subtree below it is not
+    re-explored with [search()] (rank) operations; instead the stored
+    subtree is *derived*: walked with O(1) character logic, using the
+    mismatch information between the two pattern suffixes ([R_ij]) to skip
+    collapsed match runs (the M-tree's [<-, 0>] nodes).  Occurrences found
+    by derivation reuse the BWT intervals recorded on the stored nodes.
+
+    Two refinements over the paper keep the algorithm exact:
+    - stored nodes remember budget-skipped branches (with their intervals),
+      so a derived path whose budget still has room can *resume* a real
+      search where the stored exploration stopped (the paper's case
+      "D[u] needs to be extended");
+    - [R_ij] is computed with [2k+3] entries so that no surviving derived
+      path can outrun the reliable horizon of the table ([k+2] entries as
+      in the paper can be outrun when stored mismatches absorb entries). *)
+
+type config = {
+  chain_skip : bool;
+      (** walk collapsed match runs with [R_ij] jumps instead of node by
+          node (default true; false gives the plain derivation walk) *)
+  use_delta : bool;
+      (** prune with the delta heuristic of ref. [34] (default true).
+          The paper's Algorithm A does not use delta; we add it because it
+          is sound under any alignment and, at laptop-scaled targets,
+          leaving it out handicaps A() against the BWT baseline (which the
+          paper *does* run with delta).  Branches pruned by delta are
+          remembered like budget-skipped ones, so derivations remain
+          exact.  Set false for the paper-pure variant (the ablation bench
+          reports both). *)
+  store_width : int;
+      (** minimum BWT-interval width for a node to be materialized in the
+          M-tree and hash table (default 2).  Subtrees below narrower
+          intervals are near-chains whose derivation could never repay the
+          cost of storing them; they are explored with an allocation-free
+          S-tree recursion and recorded like budget-skipped branches, so
+          derivations through them stay exact.  Set 1 to materialize
+          everything (the paper's literal structure). *)
+}
+
+val default_config : config
+
+val search :
+  ?config:config ->
+  ?stats:Stats.t ->
+  Fmindex.Fm_index.t ->
+  pattern:string ->
+  k:int ->
+  (int * int) list
+(** [search fm_rev ~pattern ~k] returns every [(position, distance)] with
+    [distance <= k], sorted by position; [fm_rev] indexes the reverse of
+    the target.  Raises [Invalid_argument] on an empty pattern, a pattern
+    with characters outside lowercase [acgt], or negative [k]. *)

@@ -1,0 +1,69 @@
+type hit = {
+  read_id : int;
+  pos : int;
+  strand : [ `Forward | `Reverse ];
+  distance : int;
+}
+
+type summary = { total : int; mapped : int; unique : int; ambiguous : int }
+
+let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) index ~reads ~k =
+  let hits = ref [] in
+  let mapped = ref 0 and unique = ref 0 and ambiguous = ref 0 in
+  List.iter
+    (fun (read_id, sequence) ->
+      let search strand pattern =
+        List.map
+          (fun (pos, distance) -> { read_id; pos; strand; distance })
+          (Kmismatch.search index ~engine ~pattern ~k)
+      in
+      let fwd = search `Forward sequence in
+      let rev =
+        if both_strands then begin
+          let rc =
+            Dna.Sequence.to_string
+              (Dna.Sequence.revcomp (Dna.Sequence.of_string sequence))
+          in
+          (* A palindromic read would report each site twice. *)
+          if rc = sequence then [] else search `Reverse rc
+        end
+        else []
+      in
+      let all = fwd @ rev in
+      (match all with
+      | [] -> ()
+      | [ _ ] ->
+          incr mapped;
+          incr unique
+      | _ :: _ :: _ ->
+          incr mapped;
+          incr ambiguous);
+      hits := all @ !hits)
+    reads;
+  let hits =
+    List.sort
+      (fun a b -> compare (a.read_id, a.pos, a.strand) (b.read_id, b.pos, b.strand))
+      !hits
+  in
+  (hits, { total = List.length reads; mapped = !mapped; unique = !unique; ambiguous = !ambiguous })
+
+let best_hits hits =
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun h ->
+      match Hashtbl.find_opt best h.read_id with
+      | Some d when d <= h.distance -> ()
+      | _ -> Hashtbl.replace best h.read_id h.distance)
+    hits;
+  List.filter (fun h -> Hashtbl.find best h.read_id = h.distance) hits
+
+let to_tsv hits =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d\t%d\t%c\t%d\n" h.read_id h.pos
+           (match h.strand with `Forward -> '+' | `Reverse -> '-')
+           h.distance))
+    hits;
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** Batch read mapping on top of the k-mismatch engines — the paper's
+    end-to-end workload (locate every read of a sequencing run in the
+    genome, both strands, despite up to [k] mismatches). *)
+
+type hit = {
+  read_id : int;
+  pos : int;  (** 0-based start on the forward strand *)
+  strand : [ `Forward | `Reverse ];
+      (** strand of the read that produced the hit *)
+  distance : int;
+}
+
+type summary = {
+  total : int;
+  mapped : int;  (** reads with at least one hit *)
+  unique : int;  (** reads with exactly one hit *)
+  ambiguous : int;  (** reads with several hits *)
+}
+
+val map_reads :
+  ?engine:Kmismatch.engine ->
+  ?both_strands:bool ->
+  Kmismatch.index ->
+  reads:(int * string) list ->
+  k:int ->
+  hit list * summary
+(** Map every [(id, sequence)] read; with [both_strands] (default true)
+    the reverse complement is searched too and hits are reported on the
+    forward coordinate system.  Hits are sorted by read id, then
+    position.  Engine defaults to [M_tree]. *)
+
+val best_hits : hit list -> hit list
+(** Keep only minimal-distance hits per read (ties all kept). *)
+
+val to_tsv : hit list -> string
+(** One [read_id <tab> pos <tab> strand <tab> distance] line per hit. *)

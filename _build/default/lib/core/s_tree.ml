@@ -1,0 +1,74 @@
+module Fm = Fmindex.Fm_index
+
+(* Feeding pattern characters left to right into backward extensions of
+   FM(rev s) matches prefixes of the pattern against windows of s: after j
+   steps the interval covers exactly the occurrences (reversed) of the
+   j-character path string in s. *)
+
+let delta_heuristic fm ~pattern =
+  let m = String.length pattern in
+  let delta = Array.make (m + 2) 0 in
+  (* absent_end.(i) = smallest 1-based j >= i such that r[i..j] does not
+     occur in s, or 0 when r[i..m] occurs entirely. *)
+  for i = m downto 1 do
+    let rec extend j iv =
+      if j > m then 0
+      else
+        match Fm.extend fm (Dna.Alphabet.code pattern.[j - 1]) iv with
+        | None -> j
+        | Some iv' -> extend (j + 1) iv'
+    in
+    let j = extend i (Fm.whole fm) in
+    delta.(i) <- (if j = 0 then 0 else 1 + delta.(j + 1))
+  done;
+  delta
+
+let search ?(use_delta = true) ?stats fm ~pattern ~k =
+  if pattern = "" then invalid_arg "S_tree.search: empty pattern";
+  if k < 0 then invalid_arg "S_tree.search: negative k";
+  String.iter
+    (fun c ->
+      if not (Dna.Alphabet.is_base c && c = Dna.Alphabet.normalize c) then
+        invalid_arg "S_tree.search: pattern must be lowercase acgt")
+    pattern;
+  let m = String.length pattern in
+  let n = Fm.length fm in
+  let bump (f : Stats.t -> unit) = match stats with Some s -> f s | None -> () in
+  if m > n then []
+  else begin
+    let delta = if use_delta then delta_heuristic fm ~pattern else [||] in
+    let pat_codes = Array.init m (fun i -> Dna.Alphabet.code pattern.[i]) in
+    let results = ref [] in
+    let report iv q =
+      List.iter (fun p -> results := (n - p - m, q) :: !results) (Fm.locate fm iv)
+    in
+    (* Depth-first over the S-tree; j = characters matched, q = mismatches
+       spent.  Branches for all four characters come from one rank-all
+       pass over the interval boundaries. *)
+    let rec expand iv j q =
+      if j = m then begin
+        bump (fun s -> s.leaves <- s.leaves + 1);
+        report iv q
+      end
+      else begin
+        let los = Array.make 5 0 and his = Array.make 5 0 in
+        bump (fun s -> s.rank_calls <- s.rank_calls + 2);
+        Fm.extend_all fm iv ~los ~his;
+        let died = ref true in
+        for c = 1 to 4 do
+          let lo = los.(c) and hi = his.(c) in
+          if lo < hi then begin
+            let q' = if c = pat_codes.(j) then q else q + 1 in
+            if q' <= k && ((not use_delta) || k - q' >= delta.(j + 2)) then begin
+              died := false;
+              bump (fun s -> s.nodes <- s.nodes + 1);
+              expand (lo, hi) (j + 1) q'
+            end
+          end
+        done;
+        if !died then bump (fun s -> s.leaves <- s.leaves + 1)
+      end
+    in
+    expand (Fm.whole fm) 0 0;
+    List.sort compare !results
+  end

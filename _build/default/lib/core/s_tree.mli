@@ -1,0 +1,27 @@
+(** The BWT-based baseline (the paper's "BWT method", ref. [34]): a
+    brute-force search tree over BWT intervals.
+
+    The pattern is consumed left to right, each step extending the current
+    BWT interval of [rev s] by one character — the matching character for
+    free, every mismatching character against the budget [k].  Optionally
+    the delta-heuristic of [34] prunes branches: [delta.(i)] is the number
+    of consecutive disjoint substrings of [r[i ..]] absent from [s]; a
+    branch whose remaining budget is below it cannot reach an occurrence. *)
+
+val delta_heuristic : Fmindex.Fm_index.t -> pattern:string -> int array
+(** [delta_heuristic fm_rev ~pattern] computes the 1-based array
+    [delta.(1 .. m+1)] over the FM-index of [rev s] ([delta.(m+1) = 0]).
+    Exposed for tests and benchmarks. *)
+
+val search :
+  ?use_delta:bool ->
+  ?stats:Stats.t ->
+  Fmindex.Fm_index.t ->
+  pattern:string ->
+  k:int ->
+  (int * int) list
+(** [search fm_rev ~pattern ~k] returns every [(position, distance)] with
+    [distance <= k], sorted by position, where [fm_rev] indexes the
+    *reverse* of the target.  [use_delta] (default true) switches the
+    pruning heuristic.  Raises [Invalid_argument] on an empty pattern or
+    negative [k]. *)

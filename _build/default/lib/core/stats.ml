@@ -1,0 +1,33 @@
+type t = {
+  mutable nodes : int;
+  mutable leaves : int;
+  mutable rank_calls : int;
+  mutable derivations : int;
+  mutable derived_leaves : int;
+  mutable resumes : int;
+}
+
+let create () =
+  {
+    nodes = 0;
+    leaves = 0;
+    rank_calls = 0;
+    derivations = 0;
+    derived_leaves = 0;
+    resumes = 0;
+  }
+
+let reset t =
+  t.nodes <- 0;
+  t.leaves <- 0;
+  t.rank_calls <- 0;
+  t.derivations <- 0;
+  t.derived_leaves <- 0;
+  t.resumes <- 0
+
+let total_leaves t = t.leaves + t.derived_leaves
+
+let pp ppf t =
+  Format.fprintf ppf
+    "nodes=%d leaves=%d rank_calls=%d derivations=%d derived_leaves=%d resumes=%d"
+    t.nodes t.leaves t.rank_calls t.derivations t.derived_leaves t.resumes

@@ -1,0 +1,1 @@
+lib/dna/alphabet.mli:

@@ -1,0 +1,1 @@
+lib/dna/fasta.ml: Buffer List Printf Sequence String

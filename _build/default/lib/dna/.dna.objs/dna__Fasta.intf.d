@@ -1,0 +1,1 @@
+lib/dna/fasta.mli: Sequence

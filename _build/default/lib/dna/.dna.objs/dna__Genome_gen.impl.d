@@ -1,0 +1,1 @@
+lib/dna/genome_gen.ml: Alphabet Array Bytes Random Sequence

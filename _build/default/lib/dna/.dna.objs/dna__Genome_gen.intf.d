@@ -1,0 +1,1 @@
+lib/dna/genome_gen.mli: Sequence

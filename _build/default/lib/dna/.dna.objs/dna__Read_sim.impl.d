@@ -1,0 +1,1 @@
+lib/dna/read_sim.ml: Alphabet Bytes List Random Sequence

@@ -1,0 +1,1 @@
+lib/dna/sequence.ml: Alphabet Array Bytes Format Printf Random String

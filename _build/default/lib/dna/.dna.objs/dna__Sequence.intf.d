@@ -1,0 +1,1 @@
+lib/dna/sequence.mli: Format Random

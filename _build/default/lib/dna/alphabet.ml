@@ -1,0 +1,48 @@
+let sigma = 5
+let sentinel = '$'
+let sentinel_code = 0
+
+let code_opt c =
+  match c with
+  | '$' -> Some 0
+  | 'a' | 'A' -> Some 1
+  | 'c' | 'C' -> Some 2
+  | 'g' | 'G' -> Some 3
+  | 't' | 'T' -> Some 4
+  | _ -> None
+
+let code c =
+  match code_opt c with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Alphabet.code: %C is not in {$acgt}" c)
+
+let of_code k =
+  match k with
+  | 0 -> '$'
+  | 1 -> 'a'
+  | 2 -> 'c'
+  | 3 -> 'g'
+  | 4 -> 't'
+  | _ -> invalid_arg (Printf.sprintf "Alphabet.of_code: %d out of range" k)
+
+let is_base c =
+  match c with
+  | 'a' | 'A' | 'c' | 'C' | 'g' | 'G' | 't' | 'T' -> true
+  | _ -> false
+
+let normalize c =
+  match c with
+  | '$' -> '$'
+  | c when is_base c -> of_code (code c)
+  | c -> invalid_arg (Printf.sprintf "Alphabet.normalize: %C is not a base" c)
+
+let complement c =
+  match c with
+  | 'a' | 'A' -> 't'
+  | 'c' | 'C' -> 'g'
+  | 'g' | 'G' -> 'c'
+  | 't' | 'T' -> 'a'
+  | c -> invalid_arg (Printf.sprintf "Alphabet.complement: %C is not a base" c)
+
+let bases = [| 'a'; 'c'; 'g'; 't' |]
+let base_codes = [| 1; 2; 3; 4 |]

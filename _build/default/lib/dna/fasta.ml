@@ -1,0 +1,77 @@
+type record = { name : string; seq : Sequence.t }
+
+exception Parse_error of string
+
+let fail line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let records = ref [] in
+  let name = ref None in
+  let body = Buffer.create 256 in
+  let lineno = ref 0 in
+  let flush_record () =
+    match !name with
+    | None ->
+        if Buffer.length body > 0 then
+          fail !lineno "sequence data before any '>' header"
+    | Some n ->
+        let s =
+          match Sequence.of_string_opt (Buffer.contents body) with
+          | Some s -> s
+          | None -> fail !lineno ("invalid sequence character in record " ^ n)
+        in
+        records := { name = n; seq = s } :: !records;
+        Buffer.clear body
+  in
+  let handle_line raw =
+    incr lineno;
+    let line = String.trim raw in
+    if String.length line = 0 then ()
+    else
+      match line.[0] with
+      | ';' -> ()
+      | '>' ->
+          flush_record ();
+          let n = String.trim (String.sub line 1 (String.length line - 1)) in
+          if n = "" then fail !lineno "empty record name";
+          name := Some n
+      | _ ->
+          if !name = None then fail !lineno "sequence data before any '>' header";
+          Buffer.add_string body line
+  in
+  List.iter handle_line lines;
+  flush_record ();
+  List.rev !records
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string ?(width = 70) records =
+  let buf = Buffer.create 1024 in
+  let emit { name; seq } =
+    Buffer.add_char buf '>';
+    Buffer.add_string buf name;
+    Buffer.add_char buf '\n';
+    let s = Sequence.to_string seq in
+    let n = String.length s in
+    let rec go i =
+      if i < n then begin
+        Buffer.add_substring buf s i (min width (n - i));
+        Buffer.add_char buf '\n';
+        go (i + width)
+      end
+    in
+    go 0
+  in
+  List.iter emit records;
+  Buffer.contents buf
+
+let write_file ?width path records =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?width records);
+  close_out oc

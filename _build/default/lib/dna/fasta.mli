@@ -1,0 +1,22 @@
+(** Minimal FASTA reader/writer.
+
+    Supports multi-record files, line-wrapped sequence bodies, comments
+    introduced by [;], and blank lines.  Records with characters outside the
+    DNA alphabet are rejected. *)
+
+type record = { name : string; seq : Sequence.t }
+
+exception Parse_error of string
+(** Raised on malformed input; the message contains the line number. *)
+
+val parse_string : string -> record list
+(** Parse a whole FASTA document held in memory. *)
+
+val read_file : string -> record list
+(** Parse a FASTA file from disk. *)
+
+val to_string : ?width:int -> record list -> string
+(** Render records in FASTA format, wrapping sequence lines at [width]
+    (default 70) characters. *)
+
+val write_file : ?width:int -> string -> record list -> unit

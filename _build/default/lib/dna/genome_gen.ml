@@ -1,0 +1,73 @@
+type profile = {
+  size : int;
+  repeat_fraction : float;
+  repeat_unit_len : int;
+  divergence : float;
+  seed : int;
+}
+
+let default =
+  {
+    size = 100_000;
+    repeat_fraction = 0.3;
+    repeat_unit_len = 300;
+    divergence = 0.02;
+    seed = 42;
+  }
+
+let mutate st divergence buf =
+  for i = 0 to Bytes.length buf - 1 do
+    if Random.State.float st 1.0 < divergence then begin
+      (* Replace with a uniformly random *different* base. *)
+      let old = Alphabet.code (Bytes.get buf i) in
+      let shift = 1 + Random.State.int st 3 in
+      let fresh = ((old - 1 + shift) mod 4) + 1 in
+      Bytes.set buf i (Alphabet.of_code fresh)
+    end
+  done
+
+let generate p =
+  if p.size <= 0 then invalid_arg "Genome_gen.generate: size must be positive";
+  if p.repeat_fraction < 0.0 || p.repeat_fraction > 0.9 then
+    invalid_arg "Genome_gen.generate: repeat_fraction outside [0, 0.9]";
+  if p.repeat_fraction > 0.0 && p.repeat_unit_len > p.size then
+    invalid_arg "Genome_gen.generate: repeat unit longer than genome";
+  let st = Random.State.make [| p.seed |] in
+  let genome = Bytes.create p.size in
+  for i = 0 to p.size - 1 do
+    Bytes.set genome i Alphabet.bases.(Random.State.int st 4)
+  done;
+  if p.repeat_fraction > 0.0 && p.repeat_unit_len > 0 then begin
+    let unit_len = min p.repeat_unit_len p.size in
+    let copies =
+      int_of_float (p.repeat_fraction *. float_of_int p.size)
+      / max 1 unit_len
+    in
+    (* A small family of master units; interspersed copies of each. *)
+    let families = max 1 (copies / 8) in
+    let masters =
+      Array.init families (fun _ ->
+          let src = Random.State.int st (p.size - unit_len + 1) in
+          Bytes.sub genome src unit_len)
+    in
+    for _ = 1 to copies do
+      let master = masters.(Random.State.int st families) in
+      let copy = Bytes.copy master in
+      mutate st p.divergence copy;
+      let dst = Random.State.int st (p.size - unit_len + 1) in
+      Bytes.blit copy 0 genome dst unit_len
+    done
+  end;
+  Sequence.of_string (Bytes.unsafe_to_string genome)
+
+let paper_table1 =
+  let p size seed =
+    { default with size; seed; repeat_fraction = 0.35; repeat_unit_len = 250 }
+  in
+  [
+    ("Rat (Rnor_6.0)", p 2_900_000 101);
+    ("Zebrafish (GRCz10)", p 1_460_000 102);
+    ("Rat chr1 (Rnor_6.0)", p 290_000 103);
+    ("C. elegans (WBcel235)", p 100_000 104);
+    ("C. merolae (ASM9120v1)", p 16_700 105);
+  ]

@@ -1,0 +1,32 @@
+(** Synthetic genome generation.
+
+    The paper evaluates on five reference genomes (Table 1).  Those are not
+    available offline, so we synthesize genomes whose behaviour-relevant
+    property — the repeat structure that makes BWT intervals recur during a
+    search — is explicit and tunable.  A genome is an i.i.d. random base
+    layer onto which tandem and interspersed repeats are planted, each copy
+    receiving a small per-base divergence. *)
+
+type profile = {
+  size : int;  (** total genome length in bases *)
+  repeat_fraction : float;
+      (** fraction of the genome covered by planted repeat copies, in
+          [0, 0.9] *)
+  repeat_unit_len : int;  (** length of each repeat unit *)
+  divergence : float;
+      (** per-base substitution probability applied to every planted copy *)
+  seed : int;  (** RNG seed; generation is fully deterministic *)
+}
+
+val default : profile
+(** 100 kb, 30% repeats of unit length 300, 2% divergence, seed 42. *)
+
+val generate : profile -> Sequence.t
+(** Generate a genome according to [profile].  Raises [Invalid_argument]
+    on nonsensical profiles (nonpositive size, fraction outside [0, 0.9],
+    unit longer than the genome). *)
+
+val paper_table1 : (string * profile) list
+(** Scaled-down stand-ins for the five genomes of the paper's Table 1,
+    ordered as in the paper (Rat, Zebrafish, Rat chr1, C. elegans,
+    C. merolae), with sizes scaled by roughly 1:1000. *)

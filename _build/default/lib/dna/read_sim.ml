@@ -1,0 +1,50 @@
+type read = {
+  id : int;
+  seq : Sequence.t;
+  origin : int;
+  forward : bool;
+  errors : int;
+}
+
+type config = {
+  count : int;
+  len : int;
+  error_rate : float;
+  both_strands : bool;
+  seed : int;
+}
+
+let default =
+  { count = 500; len = 100; error_rate = 0.02; both_strands = false; seed = 7 }
+
+let simulate cfg genome =
+  if cfg.count < 0 then invalid_arg "Read_sim.simulate: negative count";
+  if cfg.len <= 0 then invalid_arg "Read_sim.simulate: nonpositive length";
+  if cfg.error_rate < 0.0 || cfg.error_rate >= 1.0 then
+    invalid_arg "Read_sim.simulate: error_rate outside [0, 1)";
+  let n = Sequence.length genome in
+  if n < cfg.len then
+    invalid_arg "Read_sim.simulate: genome shorter than read length";
+  let st = Random.State.make [| cfg.seed |] in
+  let draw id =
+    let origin = Random.State.int st (n - cfg.len + 1) in
+    let buf =
+      Bytes.of_string (Sequence.to_string (Sequence.sub genome ~pos:origin ~len:cfg.len))
+    in
+    let errors = ref 0 in
+    for i = 0 to cfg.len - 1 do
+      if Random.State.float st 1.0 < cfg.error_rate then begin
+        let old = Alphabet.code (Bytes.get buf i) in
+        let shift = 1 + Random.State.int st 3 in
+        Bytes.set buf i (Alphabet.of_code (((old - 1 + shift) mod 4) + 1));
+        incr errors
+      end
+    done;
+    let fwd_seq = Sequence.of_string (Bytes.unsafe_to_string buf) in
+    let forward = (not cfg.both_strands) || Random.State.bool st in
+    let seq = if forward then fwd_seq else Sequence.revcomp fwd_seq in
+    { id; seq; origin; forward; errors = !errors }
+  in
+  List.init cfg.count draw
+
+let forward_pattern r = if r.forward then r.seq else Sequence.revcomp r.seq

@@ -1,0 +1,35 @@
+(** wgsim-style read simulation.
+
+    The paper simulates reads with the [wgsim] program from SAMtools
+    ("default model for single reads").  This module reproduces that model's
+    essentials: reads sampled uniformly from the genome, a per-base
+    substitution-error rate (wgsim default 2%), and an optional
+    reverse-complement strand flip. *)
+
+type read = {
+  id : int;
+  seq : Sequence.t;  (** the read as sequenced (possibly revcomp'd) *)
+  origin : int;  (** 0-based start position on the forward strand *)
+  forward : bool;  (** true if sampled from the forward strand *)
+  errors : int;  (** number of substitution errors injected *)
+}
+
+type config = {
+  count : int;  (** number of reads *)
+  len : int;  (** read length *)
+  error_rate : float;  (** per-base substitution probability *)
+  both_strands : bool;  (** sample reverse-complement reads too *)
+  seed : int;
+}
+
+val default : config
+(** 500 reads of length 100, 2% errors, forward strand only, seed 7. *)
+
+val simulate : config -> Sequence.t -> read list
+(** [simulate cfg genome] draws [cfg.count] reads.  Raises
+    [Invalid_argument] if the genome is shorter than the read length or the
+    configuration is nonsensical. *)
+
+val forward_pattern : read -> Sequence.t
+(** The read expressed on the forward strand, i.e. the pattern whose
+    occurrence at [origin] has exactly [errors] mismatches. *)

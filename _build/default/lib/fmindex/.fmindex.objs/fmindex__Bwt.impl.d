@@ -1,0 +1,1 @@
+lib/fmindex/bwt.ml: Array Bytes Dna String Suffix

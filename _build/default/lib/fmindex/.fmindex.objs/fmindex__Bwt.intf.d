@@ -1,0 +1,1 @@
+lib/fmindex/bwt.mli:

@@ -1,0 +1,1 @@
+lib/fmindex/fm_index.ml: Array Bwt Bytes Char Dna Hashtbl List Occ Printf String Suffix

@@ -1,0 +1,1 @@
+lib/fmindex/fm_index.mli:

@@ -1,0 +1,1 @@
+lib/fmindex/occ.ml: Array Bytes Char Dna String

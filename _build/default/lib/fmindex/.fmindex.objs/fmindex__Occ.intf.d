@@ -1,0 +1,1 @@
+lib/fmindex/occ.mli:

@@ -1,0 +1,16 @@
+(** The Burrows-Wheeler transform of a DNA text.
+
+    We always transform [s ^ "$"] where [$] is the unique smallest
+    terminator, so [BWT(s)] is a string of length [n+1] over [$acgt]. *)
+
+val of_text : string -> string
+(** [of_text s] computes BWT(s ^ "$") through the suffix array (SA-IS),
+    using the paper's formula (3): [L[i] = $ if H[i] = 1 else s[H[i]-1]]. *)
+
+val of_suffix_array : string -> int array -> string
+(** Same, given a precomputed suffix array of [s] (without sentinel). *)
+
+val inverse : string -> string
+(** [inverse l] recovers [s] from [l = BWT(s ^ "$")] by iterated
+    LF-mapping.  Raises [Invalid_argument] if [l] does not contain exactly
+    one sentinel. *)

@@ -1,0 +1,204 @@
+type interval = int * int
+
+type t = {
+  text : string;
+  l : string;  (* BWT(text ^ "$") *)
+  occ : Occ.t;
+  c_array : int array;  (* c_array.(c) = # characters with code < c in l *)
+  sa_rate : int;
+  samples : (int, int) Hashtbl.t;  (* row -> text position, sampled *)
+}
+
+let sigma = Dna.Alphabet.sigma
+
+let build ?(occ_rate = 16) ?(sa_rate = 16) text =
+  if sa_rate <= 0 then invalid_arg "Fm_index.build: sa_rate must be positive";
+  String.iter
+    (fun c ->
+      if not (Dna.Alphabet.is_base c) || c <> Dna.Alphabet.normalize c then
+        invalid_arg "Fm_index.build: text must be lowercase acgt")
+    text;
+  let sa = Suffix.Suffix_array.build text in
+  let l = Bwt.of_suffix_array text sa in
+  let occ = Occ.make ~rate:occ_rate l in
+  let counts = Array.make sigma 0 in
+  String.iter (fun c -> counts.(Dna.Alphabet.code c) <- counts.(Dna.Alphabet.code c) + 1) l;
+  let c_array = Array.make sigma 0 in
+  let sum = ref 0 in
+  for c = 0 to sigma - 1 do
+    c_array.(c) <- !sum;
+    sum := !sum + counts.(c)
+  done;
+  (* Row i of the matrix of text^"$" corresponds to suffix position:
+     row 0 -> n (the sentinel suffix), row i+1 -> sa.(i).  Sample rows whose
+     position is a multiple of sa_rate so any locate walk ends within
+     sa_rate LF steps. *)
+  let n = String.length text in
+  let samples = Hashtbl.create (1 + (n / sa_rate)) in
+  Hashtbl.replace samples 0 n;
+  for i = 0 to n - 1 do
+    if sa.(i) mod sa_rate = 0 then Hashtbl.replace samples (i + 1) sa.(i)
+  done;
+  { text; l; occ; c_array; sa_rate; samples }
+
+let length t = String.length t.text
+let text t = t.text
+let bwt t = t.l
+let whole t = (0, String.length t.l)
+
+let extend t c (lo, hi) =
+  if c <= 0 || c >= sigma then None
+  else begin
+    let lo' = t.c_array.(c) + Occ.rank t.occ c lo in
+    let hi' = t.c_array.(c) + Occ.rank t.occ c hi in
+    if lo' < hi' then Some (lo', hi') else None
+  end
+
+let interval_of_char t c = extend t c (whole t)
+
+let search t pat =
+  let m = String.length pat in
+  if m = 0 then Some (whole t)
+  else begin
+    let rec go i iv =
+      if i < 0 then Some iv
+      else
+        match extend t (Dna.Alphabet.code pat.[i]) iv with
+        | None -> None
+        | Some iv' -> go (i - 1) iv'
+    in
+    go (m - 1) (whole t)
+  end
+
+let count t pat = match search t pat with None -> 0 | Some (lo, hi) -> hi - lo
+
+let lf t row =
+  let c = Dna.Alphabet.code t.l.[row] in
+  t.c_array.(c) + Occ.rank t.occ c row
+
+let position_of_row t row =
+  let rec walk row steps =
+    match Hashtbl.find_opt t.samples row with
+    | Some pos -> pos + steps
+    | None -> walk (lf t row) (steps + 1)
+  in
+  walk row 0
+
+let locate t (lo, hi) =
+  let acc = ref [] in
+  for row = lo to hi - 1 do
+    acc := position_of_row t row :: !acc
+  done;
+  List.sort_uniq compare !acc
+
+let find_all t pat =
+  match search t pat with None -> [] | Some iv -> locate t iv
+
+let space_report t =
+  [
+    ("bwt (1 byte/char)", String.length t.l);
+    ("rank checkpoints", Occ.space_bytes t.occ);
+    ("sa samples", 24 * Hashtbl.length t.samples);
+    ("c array", 8 * sigma);
+  ]
+
+let extend_all t (lo, hi) ~los ~his =
+  Occ.rank_all t.occ lo los;
+  Occ.rank_all t.occ hi his;
+  for c = 0 to sigma - 1 do
+    let base = Array.unsafe_get t.c_array c in
+    Array.unsafe_set los c (base + Array.unsafe_get los c);
+    Array.unsafe_set his c (base + Array.unsafe_get his c)
+  done
+
+(* --- persistence ----------------------------------------------------- *)
+
+(* File layout: a one-line header ["kmm-fm-index 1 <n> <occ_rate>
+   <sa_rate> <sentinel_row>\n"] followed by ceil(n/4) bytes of 2-bit
+   codes for the BWT with its sentinel removed. *)
+
+let magic = "kmm-fm-index"
+
+let save t path =
+  let l = t.l in
+  let n = String.length t.text in
+  let sentinel_row = String.index l Dna.Alphabet.sentinel in
+  let oc = open_out_bin path in
+  Printf.fprintf oc "%s 1 %d %d %d %d\n" magic n (Occ.rate t.occ) t.sa_rate
+    sentinel_row;
+  let buf = Bytes.make ((n + 3) / 4) '\000' in
+  let idx = ref 0 in
+  String.iter
+    (fun c ->
+      if c <> Dna.Alphabet.sentinel then begin
+        let code = Dna.Alphabet.code c - 1 in
+        let byte = !idx / 4 and off = !idx mod 4 * 2 in
+        Bytes.set buf byte
+          (Char.chr (Char.code (Bytes.get buf byte) lor (code lsl off)));
+        incr idx
+      end)
+    l;
+  output_bytes oc buf;
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let header = try input_line ic with End_of_file -> "" in
+  let n, occ_rate, sa_rate, sentinel_row =
+    match String.split_on_char ' ' header with
+    | [ m; "1"; n; occ_rate; sa_rate; sentinel_row ] when m = magic -> (
+        try
+          ( int_of_string n,
+            int_of_string occ_rate,
+            int_of_string sa_rate,
+            int_of_string sentinel_row )
+        with Failure _ ->
+          close_in ic;
+          failwith (path ^ ": corrupt index header"))
+    | _ ->
+        close_in ic;
+        failwith (path ^ ": not a kmm FM-index file")
+  in
+  let payload =
+    try really_input_string ic ((n + 3) / 4)
+    with End_of_file ->
+      close_in ic;
+      failwith (path ^ ": truncated index payload")
+  in
+  close_in ic;
+  if sentinel_row < 0 || sentinel_row > n then
+    failwith (path ^ ": corrupt index header");
+  let l = Bytes.create (n + 1) in
+  for i = 0 to n - 1 do
+    let code = (Char.code payload.[i / 4] lsr (i mod 4 * 2)) land 3 in
+    let row = if i < sentinel_row then i else i + 1 in
+    Bytes.set l row (Dna.Alphabet.of_code (code + 1))
+  done;
+  Bytes.set l sentinel_row Dna.Alphabet.sentinel;
+  let l = Bytes.unsafe_to_string l in
+  let text = Bwt.inverse l in
+  let occ = Occ.make ~rate:occ_rate l in
+  let counts = Array.make sigma 0 in
+  String.iter
+    (fun c -> counts.(Dna.Alphabet.code c) <- counts.(Dna.Alphabet.code c) + 1)
+    l;
+  let c_array = Array.make sigma 0 in
+  let sum = ref 0 in
+  for c = 0 to sigma - 1 do
+    c_array.(c) <- !sum;
+    sum := !sum + counts.(c)
+  done;
+  (* Rebuild the SA samples with one LF walk: starting from row 0 (the
+     row whose suffix is the bare sentinel, position n) and following LF
+     visits positions n, n-1, ..., 0 in order. *)
+  let samples = Hashtbl.create (1 + (n / sa_rate)) in
+  let lf row =
+    let c = Dna.Alphabet.code l.[row] in
+    c_array.(c) + Occ.rank occ c row
+  in
+  let row = ref 0 in
+  for pos = n downto 0 do
+    if pos mod sa_rate = 0 || pos = n then Hashtbl.replace samples !row pos;
+    if pos > 0 then row := lf !row
+  done;
+  { text; l; occ; c_array; sa_rate; samples }

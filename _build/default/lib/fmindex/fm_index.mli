@@ -1,0 +1,65 @@
+(** FM-index: BWT-based full-text index with backward search and locate.
+
+    Rows of the conceptual Burrows-Wheeler matrix of [s ^ "$"] are numbered
+    [0 .. n], and an interval is a half-open row range [(lo, hi)].  Backward
+    search extends a matched string one character *to the left*; this is the
+    paper's [search(z, L_v)] primitive. *)
+
+type t
+
+type interval = int * int
+(** Half-open row range [lo, hi); nonempty iff [lo < hi]. *)
+
+val build : ?occ_rate:int -> ?sa_rate:int -> string -> t
+(** Index the DNA text [s] (lowercase [acgt]; the sentinel is appended
+    internally).  [occ_rate] is the rank checkpoint spacing (default 16);
+    [sa_rate] the suffix-array sampling rate for {!locate} (default 16). *)
+
+val length : t -> int
+(** Length of the indexed text (sentinel excluded). *)
+
+val text : t -> string
+val bwt : t -> string
+
+val whole : t -> interval
+(** The interval of every row, [(0, n+1)]. *)
+
+val extend : t -> int -> interval -> interval option
+(** [extend t c (lo, hi)] narrows the interval by prepending character code
+    [c]: the result covers exactly the rows whose suffix starts with [c]
+    followed by the previous match.  [None] if the extension is empty. *)
+
+val interval_of_char : t -> int -> interval option
+(** Rows whose first character is the given code — the paper's [F_x]. *)
+
+val search : t -> string -> interval option
+(** Backward search of a pattern; [None] when absent. *)
+
+val count : t -> string -> int
+(** Number of occurrences of a pattern in the text. *)
+
+val locate : t -> interval -> int list
+(** Sorted 0-based starting positions of the suffixes in the interval.
+    Rows are resolved through the sampled suffix array by LF-walking. *)
+
+val find_all : t -> string -> int list
+(** [search] then [locate]; sorted positions of the pattern. *)
+
+val space_report : t -> (string * int) list
+(** Named byte-size estimates of the index components. *)
+
+val extend_all : t -> interval -> los:int array -> his:int array -> unit
+(** One-pass variant of {!extend} for every character code at once:
+    afterwards the extension of the interval by code [c] is
+    [(los.(c), his.(c))], nonempty iff [los.(c) < his.(c)].  Both arrays
+    must have length 5 (the alphabet size).  Costs two block scans
+    instead of eight. *)
+
+val save : t -> string -> unit
+(** Persist the index to a file.  The format stores the 2-bit-packed BWT
+    (plus the sentinel position and the checkpoint/sampling rates); the
+    derived structures are rebuilt on load, so the file costs ~n/4 bytes. *)
+
+val load : string -> t
+(** Reload an index written by {!save}.  Raises [Failure] on a file that
+    is not a valid index. *)

@@ -1,0 +1,66 @@
+type t = {
+  codes : Bytes.t;  (* character code of every BWT position *)
+  rate : int;
+  checkpoints : int array;  (* flattened: block * sigma + code *)
+  len : int;
+}
+
+let sigma = Dna.Alphabet.sigma
+
+let make ?(rate = 16) l =
+  if rate <= 0 then invalid_arg "Occ.make: rate must be positive";
+  let n = String.length l in
+  let codes = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set codes i (Char.unsafe_chr (Dna.Alphabet.code l.[i]))
+  done;
+  let blocks = (n / rate) + 1 in
+  let checkpoints = Array.make (blocks * sigma) 0 in
+  let running = Array.make sigma 0 in
+  for i = 0 to n - 1 do
+    if i mod rate = 0 then begin
+      let base = i / rate * sigma in
+      for c = 0 to sigma - 1 do
+        checkpoints.(base + c) <- running.(c)
+      done
+    end;
+    let c = Char.code (Bytes.unsafe_get codes i) in
+    running.(c) <- running.(c) + 1
+  done;
+  if n mod rate = 0 && n > 0 then begin
+    let base = n / rate * sigma in
+    for c = 0 to sigma - 1 do
+      checkpoints.(base + c) <- running.(c)
+    done
+  end;
+  { codes; rate; checkpoints; len = n }
+
+let rank t c i =
+  if c < 0 || c >= sigma then invalid_arg "Occ.rank: bad character code";
+  if i < 0 || i > t.len then invalid_arg "Occ.rank: index out of range";
+  let b = i / t.rate in
+  let base = b * t.rate in
+  let acc = ref (Array.unsafe_get t.checkpoints ((b * sigma) + c)) in
+  let ch = Char.unsafe_chr c in
+  for j = base to i - 1 do
+    if Bytes.unsafe_get t.codes j = ch then incr acc
+  done;
+  !acc
+
+let rate t = t.rate
+let length t = t.len
+let space_bytes t = 8 * Array.length t.checkpoints
+
+let rank_all t i dst =
+  if i < 0 || i > t.len then invalid_arg "Occ.rank_all: index out of range";
+  if Array.length dst <> sigma then invalid_arg "Occ.rank_all: bad dst size";
+  let b = i / t.rate in
+  let base = b * t.rate in
+  let cp = b * sigma in
+  for c = 0 to sigma - 1 do
+    Array.unsafe_set dst c (Array.unsafe_get t.checkpoints (cp + c))
+  done;
+  for j = base to i - 1 do
+    let c = Char.code (Bytes.unsafe_get t.codes j) in
+    Array.unsafe_set dst c (Array.unsafe_get dst c + 1)
+  done

@@ -1,0 +1,29 @@
+(** Rank ("rankall") structure over a BWT string.
+
+    This is the paper's Fig. 2 device: for each character [x], [A_x.(k)] is
+    the number of occurrences of [x] in [L[0 .. k)].  Storing every value
+    costs too much, so checkpoints are kept every [rate] positions and the
+    remainder is counted on the fly — the paper's "rankalls for part of the
+    elements to reduce the space overhead, at the cost of some more
+    searches". *)
+
+type t
+
+val make : ?rate:int -> string -> t
+(** [make l] preprocesses the BWT string [l] (over [$acgt]).  [rate]
+    (default 16) is the checkpoint spacing; must be positive. *)
+
+val rank : t -> int -> int -> int
+(** [rank t c i] is the number of occurrences of character code [c] in
+    [l[0 .. i)].  O(rate) worst case, O(1) amortized for scanning use. *)
+
+val rate : t -> int
+val length : t -> int
+
+val space_bytes : t -> int
+(** Estimated heap footprint of the checkpoint tables, for the index-size
+    experiment. *)
+
+val rank_all : t -> int -> int array -> unit
+(** [rank_all t i dst] writes [rank t c i] into [dst.(c)] for every
+    character code in one block scan.  [dst] must have length [sigma]. *)

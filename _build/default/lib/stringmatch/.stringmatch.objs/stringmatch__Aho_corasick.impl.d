@@ -1,0 +1,1 @@
+lib/stringmatch/aho_corasick.ml: Array Hashtbl List Option Queue String

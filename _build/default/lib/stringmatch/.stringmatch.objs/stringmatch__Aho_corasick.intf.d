@@ -1,0 +1,1 @@
+lib/stringmatch/aho_corasick.mli:

@@ -1,0 +1,1 @@
+lib/stringmatch/boyer_moore.mli:

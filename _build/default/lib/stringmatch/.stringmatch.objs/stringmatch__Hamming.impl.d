@@ -1,0 +1,1 @@
+lib/stringmatch/hamming.ml: List String

@@ -1,0 +1,1 @@
+lib/stringmatch/hamming.mli:

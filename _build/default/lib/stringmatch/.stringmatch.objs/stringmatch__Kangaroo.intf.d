@@ -1,0 +1,1 @@
+lib/stringmatch/kangaroo.mli:

@@ -1,0 +1,1 @@
+lib/stringmatch/kmp.ml: Array List String

@@ -1,0 +1,1 @@
+lib/stringmatch/levenshtein.ml: Array List String

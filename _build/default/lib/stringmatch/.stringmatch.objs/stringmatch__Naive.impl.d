@@ -1,0 +1,1 @@
+lib/stringmatch/naive.ml: String

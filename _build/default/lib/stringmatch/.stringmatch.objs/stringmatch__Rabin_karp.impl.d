@@ -1,0 +1,1 @@
+lib/stringmatch/rabin_karp.ml: Array Char Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/stringmatch/rabin_karp.mli:

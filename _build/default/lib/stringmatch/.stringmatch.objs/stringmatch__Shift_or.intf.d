@@ -1,0 +1,1 @@
+lib/stringmatch/shift_or.mli:

@@ -1,0 +1,1 @@
+lib/stringmatch/wildcard.ml: Array Kmp List String

@@ -1,0 +1,1 @@
+lib/stringmatch/wildcard.mli:

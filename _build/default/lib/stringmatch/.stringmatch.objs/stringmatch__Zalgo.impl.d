@@ -1,0 +1,1 @@
+lib/stringmatch/zalgo.ml: Array List String

@@ -1,0 +1,55 @@
+(* Good-suffix preprocessing via the classic border-position construction
+   (Crochemore & Rytter): [shift.(j)] is how far to slide the window when a
+   mismatch occurs with suffix p[j ..] already matched. *)
+
+let good_suffix p =
+  let m = String.length p in
+  let shift = Array.make (m + 1) 0 in
+  let border = Array.make (m + 1) 0 in
+  let i = ref m and j = ref (m + 1) in
+  border.(m) <- m + 1;
+  while !i > 0 do
+    while !j <= m && p.[!i - 1] <> p.[!j - 1] do
+      if shift.(!j) = 0 then shift.(!j) <- !j - !i;
+      j := border.(!j)
+    done;
+    decr i;
+    decr j;
+    border.(!i) <- !j
+  done;
+  let j = ref border.(0) in
+  for i = 0 to m do
+    if shift.(i) = 0 then shift.(i) <- !j;
+    if i = !j then j := border.(!j)
+  done;
+  shift
+
+let bad_character p =
+  let last = Array.make 256 (-1) in
+  String.iteri (fun i c -> last.(Char.code c) <- i) p;
+  last
+
+let find_all ~pattern ~text =
+  let m = String.length pattern and n = String.length text in
+  if m = 0 then List.init (n + 1) (fun i -> i)
+  else begin
+    let shift = good_suffix pattern in
+    let last = bad_character pattern in
+    let acc = ref [] in
+    let s = ref 0 in
+    while !s <= n - m do
+      let j = ref (m - 1) in
+      while !j >= 0 && pattern.[!j] = text.[!s + !j] do
+        decr j
+      done;
+      if !j < 0 then begin
+        acc := !s :: !acc;
+        s := !s + shift.(0)
+      end
+      else begin
+        let bc = !j - last.(Char.code text.[!s + !j]) in
+        s := !s + max shift.(!j + 1) (max bc 1)
+      end
+    done;
+    List.rev !acc
+  end

@@ -1,0 +1,4 @@
+(** Boyer-Moore exact matching (paper §II): bad-character and good-suffix
+    shift tables, right-to-left window comparison. *)
+
+val find_all : pattern:string -> text:string -> int list

@@ -1,0 +1,13 @@
+(** Naive O(mn) string matching with k mismatches; the ground-truth oracle
+    against which every index-based engine is tested. *)
+
+val distance_at : pattern:string -> text:string -> pos:int -> int
+(** Hamming distance between [pattern] and [text[pos .. pos+m-1]].  Raises
+    [Invalid_argument] if the window does not fit. *)
+
+val search : pattern:string -> text:string -> k:int -> (int * int) list
+(** All [(position, mismatches)] with [mismatches <= k], ascending by
+    position.  Scanning aborts early per window once the budget is
+    exceeded. *)
+
+val positions : pattern:string -> text:string -> k:int -> int list

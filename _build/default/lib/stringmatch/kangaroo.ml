@@ -1,0 +1,40 @@
+type t = { m : int; n : int; pair : Suffix.Lce.pair }
+
+let make ~pattern ~text =
+  {
+    m = String.length pattern;
+    n = String.length text;
+    pair = Suffix.Lce.make_pair pattern text;
+  }
+
+let mismatches_at t ~pos ~limit =
+  if pos < 0 || pos + t.m > t.n then
+    invalid_arg "Kangaroo.mismatches_at: window out of range";
+  let rec jump offset found count =
+    if count >= limit || offset >= t.m then List.rev found
+    else begin
+      let l = Suffix.Lce.lce_pair t.pair offset (pos + offset) in
+      let mis = offset + l in
+      if mis >= t.m then List.rev found
+      else jump (mis + 1) (mis :: found) (count + 1)
+    end
+  in
+  jump 0 [] 0
+
+let distance_at t ~pos ~k =
+  let ms = mismatches_at t ~pos ~limit:(k + 1) in
+  let d = List.length ms in
+  if d <= k then Some d else None
+
+let search ~pattern ~text ~k =
+  if k < 0 then invalid_arg "Kangaroo.search: negative k";
+  let t = make ~pattern ~text in
+  let acc = ref [] in
+  for pos = t.n - t.m downto 0 do
+    match distance_at t ~pos ~k with
+    | Some d -> acc := (pos, d) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let positions ~pattern ~text ~k = List.map fst (search ~pattern ~text ~k)

@@ -1,0 +1,27 @@
+(** The Landau-Vishkin / Galil-Giancarlo "kangaroo" method (the paper's
+    refs [19]/[30]): O(kn) k-mismatch matching by jumping between mismatch
+    positions with O(1) longest-common-extension queries.
+
+    This is the strongest *online* baseline class the paper compares
+    against, and the verification engine inside the Amir baseline. *)
+
+type t
+
+val make : pattern:string -> text:string -> t
+(** Preprocess the pair (suffix array + LCP + RMQ of [pattern#text]). *)
+
+val mismatches_at : t -> pos:int -> limit:int -> int list
+(** The first [limit] mismatch offsets (0-based within the pattern) between
+    the pattern and the window of text starting at [pos]; fewer are
+    returned when the window has fewer mismatches.  Raises
+    [Invalid_argument] when the window does not fit. *)
+
+val distance_at : t -> pos:int -> k:int -> int option
+(** [Some d] with [d <= k] if the window at [pos] has at most [k]
+    mismatches, [None] otherwise.  O(k) per call. *)
+
+val search : pattern:string -> text:string -> k:int -> (int * int) list
+(** All [(position, mismatches)] with at most [k] mismatches, ascending.
+    O(kn) after O(m + n) preprocessing. *)
+
+val positions : pattern:string -> text:string -> k:int -> int list

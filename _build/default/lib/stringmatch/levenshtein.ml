@@ -1,0 +1,40 @@
+let distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let sub = prev.(j - 1) + if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min sub (min (prev.(j) + 1) (cur.(j - 1) + 1))
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+(* Sellers' dynamic programme: one column per text position, row 0 pinned
+   to 0 so a match may start anywhere; col.(i) is the minimal edit
+   distance between pattern[0..i-1] and some substring ending at the
+   current position. *)
+let search_ends ~pattern ~text ~k =
+  let m = String.length pattern and n = String.length text in
+  if m = 0 then invalid_arg "Levenshtein.search_ends: empty pattern";
+  if k < 0 then invalid_arg "Levenshtein.search_ends: negative k";
+  let col = Array.init (m + 1) (fun i -> i) in
+  let acc = ref [] in
+  (* The empty substring at end 0 costs m deletions. *)
+  if m <= k then acc := (0, m) :: !acc;
+  for pos = 0 to n - 1 do
+    let c = text.[pos] in
+    let diag = ref col.(0) in
+    for i = 1 to m do
+      let old = col.(i) in
+      let sub = !diag + if pattern.[i - 1] = c then 0 else 1 in
+      col.(i) <- min sub (min (old + 1) (col.(i - 1) + 1));
+      diag := old
+    done;
+    if col.(m) <= k then acc := (pos + 1, col.(m)) :: !acc
+  done;
+  List.rev !acc
+
+let occurs ~pattern ~text ~k = search_ends ~pattern ~text ~k <> []

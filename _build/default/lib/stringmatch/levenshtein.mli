@@ -1,0 +1,20 @@
+(** String matching with k errors (paper SS:II): Levenshtein distance
+    instead of Hamming, i.e. substitutions, insertions and deletions all
+    cost one.
+
+    Implemented as the classic Sellers dynamic programme over one column
+    per text character (O(mn) worst case, the complexity the paper quotes
+    for this family). *)
+
+val distance : string -> string -> int
+(** Plain edit distance between two strings. *)
+
+val search_ends : pattern:string -> text:string -> k:int -> (int * int) list
+(** All [(end_position, distance)] pairs — [end_position] exclusive —
+    such that some substring of [text] ending there is within edit
+    distance [k] of [pattern]; for each end the minimal distance is
+    reported.  Ascending.  Raises [Invalid_argument] on an empty pattern
+    or negative [k]. *)
+
+val occurs : pattern:string -> text:string -> k:int -> bool
+(** Whether the pattern occurs anywhere with at most [k] errors. *)

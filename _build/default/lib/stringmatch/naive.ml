@@ -1,0 +1,8 @@
+let find_all ~pattern ~text =
+  let m = String.length pattern and n = String.length text in
+  let acc = ref [] in
+  for i = n - m downto 0 do
+    let rec same j = j >= m || (pattern.[j] = text.[i + j] && same (j + 1)) in
+    if same 0 then acc := i :: !acc
+  done;
+  !acc

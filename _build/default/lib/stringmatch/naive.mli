@@ -1,0 +1,6 @@
+(** Brute-force exact matching; the reference oracle for every other
+    matcher. *)
+
+val find_all : pattern:string -> text:string -> int list
+(** All starting positions of [pattern] in [text], ascending.  The empty
+    pattern matches at every position [0 .. n]. *)

@@ -1,0 +1,89 @@
+(* Polynomial rolling hash modulo the Mersenne prime 2^31 - 1: operands
+   stay below 2^31, so products fit OCaml's 63-bit integers directly.
+   Collisions are harmless — every hash hit is verified. *)
+
+let modulus = (1 lsl 31) - 1
+let base = 257
+let mul_mod a b = a * b mod modulus
+
+let add_mod a b =
+  let r = a + b in
+  if r >= modulus then r - modulus else r
+
+let sub_mod a b = add_mod a (modulus - b)
+let hash_char c = Char.code c + 1
+
+let hash_string s =
+  let h = ref 0 in
+  String.iter (fun c -> h := add_mod (mul_mod !h base) (hash_char c)) s;
+  !h
+
+let pow_base n =
+  let rec go acc n = if n = 0 then acc else go (mul_mod acc base) (n - 1) in
+  go 1 n
+
+let find_all ~pattern ~text =
+  let m = String.length pattern and n = String.length text in
+  if m = 0 then List.init (n + 1) (fun i -> i)
+  else if m > n then []
+  else begin
+    let target = hash_string pattern in
+    let lead = pow_base (m - 1) in
+    let verify i =
+      let rec same j = j >= m || (pattern.[j] = text.[i + j] && same (j + 1)) in
+      same 0
+    in
+    let acc = ref [] in
+    let h = ref (hash_string (String.sub text 0 m)) in
+    if !h = target && verify 0 then acc := 0 :: !acc;
+    for i = 1 to n - m do
+      h := sub_mod !h (mul_mod lead (hash_char text.[i - 1]));
+      h := add_mod (mul_mod !h base) (hash_char text.[i + m - 1]);
+      if !h = target && verify i then acc := i :: !acc
+    done;
+    List.rev !acc
+  end
+
+let find_all_multi ~patterns ~text =
+  let count = Array.length patterns in
+  if count = 0 then []
+  else begin
+    let m = String.length patterns.(0) in
+    if m = 0 then invalid_arg "Rabin_karp.find_all_multi: empty pattern";
+    Array.iter
+      (fun p ->
+        if String.length p <> m then
+          invalid_arg "Rabin_karp.find_all_multi: patterns must share a length")
+      patterns;
+    let n = String.length text in
+    if m > n then []
+    else begin
+      let table = Hashtbl.create (2 * count) in
+      Array.iteri
+        (fun idx p ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt table (hash_string p)) in
+          Hashtbl.replace table (hash_string p) (idx :: prev))
+        patterns;
+      let lead = pow_base (m - 1) in
+      let verify idx i =
+        let p = patterns.(idx) in
+        let rec same j = j >= m || (p.[j] = text.[i + j] && same (j + 1)) in
+        same 0
+      in
+      let acc = ref [] in
+      let emit i h =
+        match Hashtbl.find_opt table h with
+        | None -> ()
+        | Some idxs ->
+            List.iter (fun idx -> if verify idx i then acc := (idx, i) :: !acc) idxs
+      in
+      let h = ref (hash_string (String.sub text 0 m)) in
+      emit 0 !h;
+      for i = 1 to n - m do
+        h := sub_mod !h (mul_mod lead (hash_char text.[i - 1]));
+        h := add_mod (mul_mod !h base) (hash_char text.[i + m - 1]);
+        emit i !h
+      done;
+      List.sort compare !acc
+    end
+  end

@@ -1,0 +1,11 @@
+(** Rabin-Karp rolling-hash matching — the paper's SS:II "hash-based"
+    family, where pattern signatures are compared before characters. *)
+
+val find_all : pattern:string -> text:string -> int list
+(** All occurrences, ascending; hash hits are verified, so the result is
+    exact.  The empty pattern matches everywhere. *)
+
+val find_all_multi : patterns:string array -> text:string -> (int * int) list
+(** Occurrences [(pattern index, position)] of several same-length
+    patterns in one scan (the "seed" use).  Raises [Invalid_argument] if
+    the patterns do not all share one nonzero length. *)

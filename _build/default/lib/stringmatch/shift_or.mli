@@ -1,0 +1,25 @@
+(** Bit-parallel matching (Baeza-Yates-Gonnet Shift-Or and its
+    counting-mismatch extension).
+
+    For patterns up to the machine word size (63 characters here), exact
+    matching runs one logical operation per text character, and the
+    k-mismatch variant keeps one counter automaton per allowed error.
+    These are the practical work-horses for short patterns and serve as
+    yet another independent oracle in the test suite. *)
+
+val max_pattern_length : int
+(** 63 on a 64-bit OCaml runtime. *)
+
+val find_all : pattern:string -> text:string -> int list
+(** Exact occurrences, ascending.  Raises [Invalid_argument] if the
+    pattern is empty or longer than {!max_pattern_length}. *)
+
+val search : pattern:string -> text:string -> k:int -> (int * int) list
+(** Shift-Add style matching with up to [k] mismatches: all
+    [(position, distance)] pairs, ascending.  The per-position mismatch
+    counters are kept in [ceil(log2 (k+2))]-bit fields, so the constraint
+    is [m * bits <= 63]; raises [Invalid_argument] when the pattern does
+    not fit, is empty, or [k < 0]. *)
+
+val fits : m:int -> k:int -> bool
+(** Whether a pattern of length [m] with budget [k] fits the word. *)

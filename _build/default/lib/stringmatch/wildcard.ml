@@ -1,0 +1,56 @@
+let find_all ?(wildcard = 'n') ~pattern ~text () =
+  let m = String.length pattern and n = String.length text in
+  let acc = ref [] in
+  for i = n - m downto 0 do
+    let rec same j =
+      j >= m
+      || ((pattern.[j] = wildcard || text.[i + j] = wildcard
+          || pattern.[j] = text.[i + j])
+         && same (j + 1))
+    in
+    if same 0 then acc := i :: !acc
+  done;
+  !acc
+
+let find_all_single_gap ?(wildcard = 'n') ~pattern ~text () =
+  if String.contains text wildcard then
+    invalid_arg "Wildcard.find_all_single_gap: text contains wildcards";
+  let m = String.length pattern and n = String.length text in
+  if m = 0 then List.init (n + 1) (fun i -> i)
+  else begin
+    match String.index_opt pattern wildcard with
+    | None -> Kmp.find_all ~pattern ~text
+    | Some first ->
+        let last =
+          match String.rindex_opt pattern wildcard with
+          | Some l -> l
+          | None -> assert false
+        in
+        for j = first to last do
+          if pattern.[j] <> wildcard then
+            invalid_arg "Wildcard.find_all_single_gap: scattered wildcards"
+        done;
+        let left = String.sub pattern 0 first in
+        let right = String.sub pattern (last + 1) (m - last - 1) in
+        let starts_ok =
+          if left = "" then fun i -> i >= 0 && i + m <= n
+          else begin
+            let hits = Array.make (n + 1) false in
+            List.iter (fun p -> hits.(p) <- true) (Kmp.find_all ~pattern:left ~text);
+            fun i -> i >= 0 && i + m <= n && hits.(i)
+          end
+        in
+        let candidates =
+          if right = "" then
+            (* Any window whose left flank matches. *)
+            List.filter starts_ok (List.init (max 0 (n - m + 1)) (fun i -> i))
+          else
+            List.filter_map
+              (fun p ->
+                (* right flank occurrence at p implies window start: *)
+                let i = p - last - 1 in
+                if starts_ok i then Some i else None)
+              (Kmp.find_all ~pattern:right ~text)
+        in
+        List.sort_uniq compare candidates
+  end

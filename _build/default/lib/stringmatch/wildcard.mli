@@ -1,0 +1,23 @@
+(** String matching with don't-care symbols (paper SS:II's third kind of
+    inexact matching).
+
+    A wildcard matches any single character, including another wildcard.
+    As the paper notes, the match relation is then no longer transitive,
+    which rules out KMP/Boyer-Moore shift tables; the general methods are
+    quadratic, which is what we provide (plus a linear special case for
+    patterns whose wildcards form one consecutive run, in the spirit of
+    the suffix-array trick the paper cites). *)
+
+val find_all :
+  ?wildcard:char -> pattern:string -> text:string -> unit -> int list
+(** All positions where [pattern] matches [text], treating [wildcard]
+    (default ['n'], the IUPAC "any base") in *either* string as matching
+    anything.  O(mn).  The empty pattern matches everywhere. *)
+
+val find_all_single_gap :
+  ?wildcard:char -> pattern:string -> text:string -> unit -> int list
+(** Same answer for patterns whose wildcards form one consecutive run
+    (e.g. [acgnnnnta]) and a wildcard-free text, computed by exact-matching
+    the two solid flanks (KMP) and intersecting.  O(n + m).  Raises
+    [Invalid_argument] if the pattern has scattered wildcards or the text
+    contains wildcards. *)

@@ -1,0 +1,30 @@
+let z_array s =
+  let n = String.length s in
+  let z = Array.make n 0 in
+  if n > 0 then begin
+    z.(0) <- n;
+    let l = ref 0 and r = ref 0 in
+    for i = 1 to n - 1 do
+      if i < !r then z.(i) <- min (!r - i) z.(i - !l);
+      while i + z.(i) < n && s.[z.(i)] = s.[i + z.(i)] do
+        z.(i) <- z.(i) + 1
+      done;
+      if i + z.(i) > !r then begin
+        l := i;
+        r := i + z.(i)
+      end
+    done
+  end;
+  z
+
+let find_all ~pattern ~text =
+  let m = String.length pattern in
+  if m = 0 then List.init (String.length text + 1) (fun i -> i)
+  else begin
+    let z = z_array (pattern ^ "\001" ^ text) in
+    let acc = ref [] in
+    for i = String.length text - 1 downto 0 do
+      if z.(m + 1 + i) >= m then acc := i :: !acc
+    done;
+    !acc
+  end

@@ -1,0 +1,9 @@
+(** Z-algorithm: longest common prefix of the string with each of its own
+    suffixes, in O(n). *)
+
+val z_array : string -> int array
+(** [z.(0) = n]; for [i > 0], [z.(i)] is the length of the longest common
+    prefix of [s] and [s[i ..]]. *)
+
+val find_all : pattern:string -> text:string -> int list
+(** Exact matching through the Z-array of [pattern ^ "\001" ^ text]. *)

@@ -1,0 +1,1 @@
+lib/suffix/lce.ml: Array Lcp Rmq String Suffix_array

@@ -1,0 +1,1 @@
+lib/suffix/lce.mli:

@@ -1,0 +1,1 @@
+lib/suffix/lcp.ml: Array String Suffix_array

@@ -1,0 +1,1 @@
+lib/suffix/rmq.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/suffix/sa_search.ml: Array Char List String Suffix_array

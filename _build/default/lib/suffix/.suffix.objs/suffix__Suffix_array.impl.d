@@ -1,0 +1,1 @@
+lib/suffix/suffix_array.ml: Array Char String

@@ -1,0 +1,1 @@
+lib/suffix/suffix_array.mli:

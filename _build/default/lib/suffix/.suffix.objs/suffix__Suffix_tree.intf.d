@@ -1,0 +1,1 @@
+lib/suffix/suffix_tree.mli:

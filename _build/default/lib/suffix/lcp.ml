@@ -1,0 +1,24 @@
+let naive_lcp s i j =
+  let n = String.length s in
+  let rec go d = if i + d < n && j + d < n && s.[i + d] = s.[j + d] then go (d + 1) else d in
+  go 0
+
+let of_suffix_array s sa =
+  let n = String.length s in
+  let h = Array.make n 0 in
+  if n > 0 then begin
+    let rank = Suffix_array.rank_of sa in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if rank.(i) > 0 then begin
+        let j = sa.(rank.(i) - 1) in
+        while i + !k < n && j + !k < n && s.[i + !k] = s.[j + !k] do
+          incr k
+        done;
+        h.(rank.(i)) <- !k;
+        if !k > 0 then decr k
+      end
+      else k := 0
+    done
+  end;
+  h

@@ -1,0 +1,9 @@
+(** Longest-common-prefix arrays (Kasai's algorithm). *)
+
+val of_suffix_array : string -> int array -> int array
+(** [of_suffix_array s sa] is the LCP array [h] with [h.(0) = 0] and
+    [h.(i) = lcp (s[sa.(i-1) ..]) (s[sa.(i) ..])] for [i > 0].
+    Runs in O(n). *)
+
+val naive_lcp : string -> int -> int -> int
+(** Direct character-by-character LCP of two suffixes; for tests. *)

@@ -1,0 +1,29 @@
+type t = { table : int array array; log2 : int array; n : int }
+
+let make a =
+  let n = Array.length a in
+  let log2 = Array.make (n + 1) 0 in
+  for i = 2 to n do
+    log2.(i) <- log2.(i / 2) + 1
+  done;
+  let levels = if n = 0 then 1 else log2.(n) + 1 in
+  let table = Array.make levels [||] in
+  table.(0) <- Array.copy a;
+  for lev = 1 to levels - 1 do
+    let span = 1 lsl lev in
+    let m = n - span + 1 in
+    let row = Array.make (max m 0) 0 in
+    let prev = table.(lev - 1) in
+    for i = 0 to m - 1 do
+      row.(i) <- min prev.(i) prev.(i + (span / 2))
+    done;
+    table.(lev) <- row
+  done;
+  { table; log2; n }
+
+let min_in t i j =
+  if i > j || i < 0 || j >= t.n then
+    invalid_arg (Printf.sprintf "Rmq.min_in: bad range [%d, %d] (n=%d)" i j t.n);
+  let lev = t.log2.(j - i + 1) in
+  let span = 1 lsl lev in
+  min t.table.(lev).(i) t.table.(lev).(j - span + 1)

@@ -1,0 +1,10 @@
+(** Sparse-table range-minimum queries: O(n log n) build, O(1) query. *)
+
+type t
+
+val make : int array -> t
+
+val min_in : t -> int -> int -> int
+(** [min_in t i j] is the minimum of the array over the inclusive range
+    [i .. j].  Raises [Invalid_argument] if [i > j] or the range is out of
+    bounds. *)

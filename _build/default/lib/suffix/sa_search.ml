@@ -1,0 +1,59 @@
+type t = { text : string; sa : int array }
+
+let of_suffix_array text sa =
+  if Array.length sa <> String.length text then
+    invalid_arg "Sa_search.of_suffix_array: array does not match text";
+  { text; sa }
+
+let build text = { text; sa = Suffix_array.build text }
+
+(* Compare the pattern against the suffix starting at [pos]: negative if
+   the suffix sorts before the pattern, 0 if the pattern is its prefix. *)
+let compare_at t pat pos =
+  let n = String.length t.text and m = String.length pat in
+  let rec go i =
+    if i >= m then 0
+    else if pos + i >= n then -1 (* shorter suffix sorts first *)
+    else begin
+      let c = Char.compare t.text.[pos + i] pat.[i] in
+      if c <> 0 then c else go (i + 1)
+    end
+  in
+  go 0
+
+let range t pat =
+  let n = Array.length t.sa in
+  if pat = "" then Some (0, n)
+  else begin
+    (* First suffix >= pat (as a prefix-match), i.e. lowest index whose
+       suffix does not sort strictly before pat. *)
+    let rec lower lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if compare_at t pat t.sa.(mid) < 0 then lower (mid + 1) hi else lower lo mid
+      end
+    in
+    (* First suffix that sorts strictly after every pat-prefixed one. *)
+    let rec upper lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if compare_at t pat t.sa.(mid) <= 0 then upper (mid + 1) hi else upper lo mid
+      end
+    in
+    let lo = lower 0 n in
+    let hi = upper lo n in
+    if lo < hi then Some (lo, hi) else None
+  end
+
+let count t pat =
+  match range t pat with
+  | None -> 0
+  | Some (lo, hi) -> hi - lo
+
+let find_all t pat =
+  match range t pat with
+  | None -> []
+  | Some (lo, hi) ->
+      List.sort compare (List.init (hi - lo) (fun i -> t.sa.(lo + i)))

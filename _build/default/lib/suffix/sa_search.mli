@@ -1,0 +1,22 @@
+(** Exact matching by binary search over a suffix array (Manber-Myers) —
+    the third index family the paper's SS:II surveys next to suffix trees
+    and the BWT.
+
+    O((m + log n) ) per query with the plain comparison-based search used
+    here; mainly a reference and a cross-check for the FM-index. *)
+
+type t
+
+val build : string -> t
+(** Build (or wrap) the suffix array of the text. *)
+
+val of_suffix_array : string -> int array -> t
+(** Wrap a precomputed suffix array (must belong to the text). *)
+
+val range : t -> string -> (int * int) option
+(** Half-open range of suffix-array entries whose suffixes start with the
+    pattern; [None] when absent.  The empty pattern covers everything. *)
+
+val count : t -> string -> int
+val find_all : t -> string -> int list
+(** Sorted occurrence positions. *)

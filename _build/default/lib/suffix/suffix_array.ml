@@ -1,0 +1,228 @@
+(* SA-IS (Nong, Zhang & Chan 2009): induced sorting of LMS substrings with a
+   recursive call on the reduced string when LMS names are not yet unique.
+
+   [sais s sigma] expects [s] to end with a unique, smallest sentinel 0 and
+   every other symbol in [1 .. sigma-1]. *)
+
+let rec sais s sigma =
+  let n = Array.length s in
+  let sa = Array.make n (-1) in
+  if n = 1 then begin
+    sa.(0) <- 0;
+    sa
+  end
+  else begin
+    (* Type classification: t.(i) is true iff suffix i is S-type. *)
+    let t = Array.make n false in
+    t.(n - 1) <- true;
+    for i = n - 2 downto 0 do
+      t.(i) <- s.(i) < s.(i + 1) || (s.(i) = s.(i + 1) && t.(i + 1))
+    done;
+    let is_lms i = i > 0 && t.(i) && not t.(i - 1) in
+    let bucket = Array.make sigma 0 in
+    Array.iter (fun c -> bucket.(c) <- bucket.(c) + 1) s;
+    let bucket_heads () =
+      let b = Array.make sigma 0 in
+      let sum = ref 0 in
+      for c = 0 to sigma - 1 do
+        b.(c) <- !sum;
+        sum := !sum + bucket.(c)
+      done;
+      b
+    in
+    let bucket_tails () =
+      let b = Array.make sigma 0 in
+      let sum = ref 0 in
+      for c = 0 to sigma - 1 do
+        sum := !sum + bucket.(c);
+        b.(c) <- !sum
+      done;
+      b
+    in
+    (* Induced sort: seed the bucket tails with the given LMS positions
+       (inserted back to front, so the array order becomes the in-bucket
+       order), then induce L-types left to right and S-types right to
+       left. *)
+    let induce seed_lms =
+      Array.fill sa 0 n (-1);
+      let tails = bucket_tails () in
+      for k = Array.length seed_lms - 1 downto 0 do
+        let i = seed_lms.(k) in
+        let c = s.(i) in
+        tails.(c) <- tails.(c) - 1;
+        sa.(tails.(c)) <- i
+      done;
+      let heads = bucket_heads () in
+      for k = 0 to n - 1 do
+        let j = sa.(k) in
+        if j > 0 && not t.(j - 1) then begin
+          let c = s.(j - 1) in
+          sa.(heads.(c)) <- j - 1;
+          heads.(c) <- heads.(c) + 1
+        end
+      done;
+      let tails = bucket_tails () in
+      for k = n - 1 downto 0 do
+        let j = sa.(k) in
+        if j > 0 && t.(j - 1) then begin
+          let c = s.(j - 1) in
+          tails.(c) <- tails.(c) - 1;
+          sa.(tails.(c)) <- j - 1
+        end
+      done
+    in
+    let lms = ref [] in
+    for i = n - 1 downto 1 do
+      if is_lms i then lms := i :: !lms
+    done;
+    let lms_positions = Array.of_list !lms in
+    let n_lms = Array.length lms_positions in
+    if n_lms = 0 then begin
+      (* Only the sentinel is LMS-free: the whole string is one L-run. *)
+      induce [||];
+      sa
+    end
+    else begin
+      (* Step 1: approximate sort to order the LMS *substrings*. *)
+      induce lms_positions;
+      (* Collect LMS positions in the order they now appear in sa. *)
+      let sorted_lms = Array.make n_lms 0 in
+      let idx = ref 0 in
+      for k = 0 to n - 1 do
+        let j = sa.(k) in
+        if j > 0 && is_lms j then begin
+          sorted_lms.(!idx) <- j;
+          incr idx
+        end
+      done;
+      (* Name LMS substrings; equal substrings share a name. *)
+      let name_of = Array.make n (-1) in
+      let lms_end i =
+        (* Exclusive end of the LMS substring starting at i: up to and
+           including the next LMS position. *)
+        let rec go j = if j >= n || is_lms j then j else go (j + 1) in
+        go (i + 1)
+      in
+      let equal_lms a b =
+        let ea = lms_end a and eb = lms_end b in
+        let la = ea - a and lb = eb - b in
+        if la <> lb then false
+        else begin
+          let rec cmp d =
+            if d > la then true
+            else if a + d < n && b + d < n && s.(a + d) = s.(b + d) then
+              cmp (d + 1)
+            else a + d >= n && b + d >= n
+          in
+          cmp 0
+        end
+      in
+      let names = ref 0 in
+      name_of.(sorted_lms.(0)) <- 0;
+      for k = 1 to n_lms - 1 do
+        if not (equal_lms sorted_lms.(k - 1) sorted_lms.(k)) then incr names;
+        name_of.(sorted_lms.(k)) <- !names
+      done;
+      let distinct = !names + 1 in
+      let lms_order =
+        if distinct = n_lms then begin
+          (* Names already unique: sorted_lms is the LMS suffix order. *)
+          sorted_lms
+        end
+        else begin
+          (* Recurse on the reduced string of LMS names (in text order). *)
+          let reduced = Array.make n_lms 0 in
+          Array.iteri (fun i pos -> reduced.(i) <- name_of.(pos) + 1) lms_positions;
+          (* The last LMS position is n-1 (the sentinel), whose name is the
+             unique smallest; shift names by 1 and append 0 sentinel. *)
+          let reduced' = Array.append reduced [| 0 |] in
+          let sa_red = sais reduced' (distinct + 2) in
+          let order = Array.make n_lms 0 in
+          let idx = ref 0 in
+          Array.iter
+            (fun r ->
+              if r < n_lms then begin
+                order.(!idx) <- lms_positions.(r);
+                incr idx
+              end)
+            sa_red;
+          order
+        end
+      in
+      (* Step 3: final induced sort seeded with fully sorted LMS suffixes. *)
+      induce lms_order;
+      sa
+    end
+  end
+
+let build s =
+  let n = String.length s in
+  if n = 0 then [||]
+  else begin
+    let codes = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      codes.(i) <- Char.code s.[i] + 1
+    done;
+    let sa = sais codes 257 in
+    (* Drop the sentinel suffix (always first). *)
+    Array.sub sa 1 n
+  end
+
+let build_doubling s =
+  let n = String.length s in
+  if n = 0 then [||]
+  else begin
+    let sa = Array.init n (fun i -> i) in
+    let rank = Array.init n (fun i -> Char.code s.[i]) in
+    let tmp = Array.make n 0 in
+    let k = ref 1 in
+    let continue = ref (n > 1) in
+    while !continue do
+      let key i = (rank.(i), if i + !k < n then rank.(i + !k) else -1) in
+      Array.sort (fun a b -> compare (key a) (key b)) sa;
+      tmp.(sa.(0)) <- 0;
+      for i = 1 to n - 1 do
+        tmp.(sa.(i)) <-
+          (tmp.(sa.(i - 1)) + if key sa.(i - 1) = key sa.(i) then 0 else 1)
+      done;
+      Array.blit tmp 0 rank 0 n;
+      if rank.(sa.(n - 1)) = n - 1 then continue := false;
+      k := !k * 2
+    done;
+    sa
+  end
+
+let build_naive s =
+  let n = String.length s in
+  let sa = Array.init n (fun i -> i) in
+  let suffix i = String.sub s i (n - i) in
+  Array.sort (fun a b -> compare (suffix a) (suffix b)) sa;
+  sa
+
+let rank_of sa =
+  let rank = Array.make (Array.length sa) 0 in
+  Array.iteri (fun i p -> rank.(p) <- i) sa;
+  rank
+
+let is_valid s sa =
+  let n = String.length s in
+  Array.length sa = n
+  && begin
+       let seen = Array.make n false in
+       Array.for_all
+         (fun p ->
+           p >= 0 && p < n
+           &&
+           if seen.(p) then false
+           else begin
+             seen.(p) <- true;
+             true
+           end)
+         sa
+     end
+  &&
+  let suffix i = String.sub s i (n - i) in
+  let rec sorted i =
+    i >= n - 1 || (String.compare (suffix sa.(i)) (suffix sa.(i + 1)) < 0 && sorted (i + 1))
+  in
+  sorted 0

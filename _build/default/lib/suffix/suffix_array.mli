@@ -1,0 +1,25 @@
+(** Suffix-array construction.
+
+    Two builders are provided: the linear-time SA-IS algorithm (used
+    everywhere in production) and a simple prefix-doubling builder kept as an
+    independently-written cross-check for tests.
+
+    The suffix array of [s] is the permutation [sa] of [0 .. n-1] such that
+    the suffix [s[sa.(i) ..]] is the [i]-th smallest suffix in plain
+    lexicographic order (a proper prefix sorts before its extensions). *)
+
+val build : string -> int array
+(** Linear-time SA-IS construction over the byte alphabet. *)
+
+val build_doubling : string -> int array
+(** O(n log^2 n) prefix-doubling construction; reference implementation for
+    cross-checking. *)
+
+val build_naive : string -> int array
+(** O(n^2 log n) sort of explicit suffixes; only for tiny test inputs. *)
+
+val rank_of : int array -> int array
+(** [rank_of sa] is the inverse permutation: [rank.(sa.(i)) = i]. *)
+
+val is_valid : string -> int array -> bool
+(** Full validity check (permutation + sortedness); for tests. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Amir Array Bytes Core Dna Kmismatch Lazy List M_tree Mismatch_array Printf QCheck2 Random S_tree Stats String Stringmatch Test_util

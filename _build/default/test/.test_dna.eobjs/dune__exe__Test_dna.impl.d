@@ -1,0 +1,1 @@
+test/test_dna.ml: Alcotest Alphabet Dna Fasta Filename Genome_gen Hashtbl Lazy List Random Read_sim Sequence String Sys Test_util

@@ -1,0 +1,1 @@
+test/test_fmindex.ml: Alcotest Bwt Dna Fm_index Fmindex List Occ Option Printf QCheck2 Random String Stringmatch Test_util

@@ -1,0 +1,1 @@
+test/test_inexact.ml: Alcotest Array Hamming Levenshtein List Naive QCheck2 Rabin_karp Shift_or String Stringmatch Test_util Wildcard

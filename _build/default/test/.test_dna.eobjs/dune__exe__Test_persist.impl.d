@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Core Dna Filename Fmindex Fun In_channel Kmismatch Lazy List Mapper Printf QCheck2 Random String Sys Test_util Unix

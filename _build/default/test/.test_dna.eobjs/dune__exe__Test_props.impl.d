@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Core Dna Fmindex Hashtbl Hybrid Int_table Kmismatch List M_tree Mismatch_tree QCheck2 S_tree Stats String Stringmatch Test_util

@@ -1,0 +1,1 @@
+test/test_stringmatch.ml: Aho_corasick Alcotest Array Boyer_moore Hamming Kangaroo Kmp List Naive QCheck2 String Stringmatch Test_util Zalgo

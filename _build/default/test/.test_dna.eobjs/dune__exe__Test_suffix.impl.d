@@ -1,0 +1,1 @@
+test/test_suffix.ml: Alcotest Array Lce Lcp List QCheck2 Random Rmq Sa_search String Stringmatch Suffix Suffix_array Suffix_tree Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Array QCheck2 QCheck_alcotest Random String

@@ -1,0 +1,187 @@
+open Fmindex
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+let bool = Alcotest.bool
+let int_list = Alcotest.(list int)
+
+(* ------------------------------------------------------------------ *)
+(* BWT                                                                 *)
+
+let test_bwt_paper_example () =
+  (* Paper §III.A: s = acagaca, BWT(s) = acg$caaa. *)
+  check string "acagaca" "acg$caaa" (Bwt.of_text "acagaca")
+
+let test_bwt_empty () = check string "empty" "$" (Bwt.of_text "")
+
+let test_bwt_inverse_paper () =
+  check string "inverse of paper example" "acagaca" (Bwt.inverse "acg$caaa")
+
+let prop_bwt_roundtrip =
+  Test_util.qtest ~count:300 "inverse . of_text = id" (Test_util.dna_gen ~hi:300 ())
+    (fun s -> Bwt.inverse (Bwt.of_text s) = s)
+
+let test_bwt_inverse_rejects () =
+  let expect_invalid l =
+    match Bwt.inverse l with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid "acgt";
+  expect_invalid "a$c$"
+
+let test_bwt_is_permutation () =
+  let s = "gattacagattaca" in
+  let l = Bwt.of_text s in
+  let sorted x = List.sort compare (List.init (String.length x) (String.get x)) in
+  check bool "permutation of s$" true (sorted l = sorted (s ^ "$"))
+
+(* ------------------------------------------------------------------ *)
+(* Occ / rankall                                                       *)
+
+let naive_rank l c i =
+  let count = ref 0 in
+  for j = 0 to i - 1 do
+    if Dna.Alphabet.code l.[j] = c then incr count
+  done;
+  !count
+
+let test_occ_matches_naive () =
+  let st = Random.State.make [| 7 |] in
+  List.iter
+    (fun rate ->
+      let s = Test_util.random_dna st 500 in
+      let l = Bwt.of_text s in
+      let occ = Occ.make ~rate l in
+      for i = 0 to String.length l do
+        for c = 0 to Dna.Alphabet.sigma - 1 do
+          check int
+            (Printf.sprintf "rank rate=%d c=%d i=%d" rate c i)
+            (naive_rank l c i) (Occ.rank occ c i)
+        done
+      done)
+    [ 1; 3; 64; 1000 ]
+
+let test_occ_validation () =
+  let l = Bwt.of_text "acgt" in
+  (match Occ.make ~rate:0 l with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  let occ = Occ.make l in
+  (match Occ.rank occ 9 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad code");
+  match Occ.rank occ 1 100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad index"
+
+(* ------------------------------------------------------------------ *)
+(* FM-index                                                            *)
+
+let test_fm_paper_search () =
+  (* Paper §III.A: searching aca in acagaca$ yields two occurrences. *)
+  let fm = Fm_index.build "acagaca" in
+  check int "count aca" 2 (Fm_index.count fm "aca");
+  check int_list "positions" [ 0; 4 ] (Fm_index.find_all fm "aca")
+
+let test_fm_empty_pattern () =
+  let fm = Fm_index.build "acgt" in
+  check int "empty pattern counts all rows" 5 (Fm_index.count fm "")
+
+let test_fm_absent () =
+  let fm = Fm_index.build "aaaa" in
+  check int "absent" 0 (Fm_index.count fm "c");
+  check int_list "absent positions" [] (Fm_index.find_all fm "ct")
+
+let test_fm_longer_than_text () =
+  let fm = Fm_index.build "acg" in
+  check int "too long" 0 (Fm_index.count fm "acgt")
+
+let prop_fm_equals_naive =
+  Test_util.qtest ~count:300 "find_all = naive"
+    QCheck2.Gen.(pair (Test_util.dna_gen ~lo:1 ~hi:250 ()) (Test_util.dna_gen ~lo:1 ~hi:8 ()))
+    (fun (text, pattern) ->
+      let fm = Fm_index.build text in
+      Fm_index.find_all fm pattern = Stringmatch.Naive.find_all ~pattern ~text)
+
+let prop_fm_sampling_rates =
+  Test_util.qtest ~count:100 "locate independent of sa_rate"
+    QCheck2.Gen.(pair (Test_util.dna_gen ~lo:4 ~hi:150 ()) (Test_util.dna_gen ~lo:1 ~hi:4 ()))
+    (fun (text, pattern) ->
+      let a = Fm_index.build ~sa_rate:1 text in
+      let b = Fm_index.build ~sa_rate:7 text in
+      let c = Fm_index.build ~sa_rate:1000 text in
+      Fm_index.find_all a pattern = Fm_index.find_all b pattern
+      && Fm_index.find_all b pattern = Fm_index.find_all c pattern)
+
+let test_fm_extend_steps_follow_paper () =
+  (* Reproduce the three-step example of §III.A for r = aca over
+     s = acagaca: the interval sizes are 4, 2, 2. *)
+  let fm = Fm_index.build "acagaca" in
+  let iv0 = Option.get (Fm_index.interval_of_char fm (Dna.Alphabet.code 'a')) in
+  check int "F_a size" 4 (snd iv0 - fst iv0);
+  let iv1 = Option.get (Fm_index.extend fm (Dna.Alphabet.code 'c') iv0) in
+  check int "c-extension size" 2 (snd iv1 - fst iv1);
+  let iv2 = Option.get (Fm_index.extend fm (Dna.Alphabet.code 'a') iv1) in
+  check int "a-extension size" 2 (snd iv2 - fst iv2)
+
+let test_fm_empty_text () =
+  let fm = Fm_index.build "" in
+  check int "length" 0 (Fm_index.length fm);
+  check string "bwt" "$" (Fm_index.bwt fm);
+  check int "no occurrences" 0 (Fm_index.count fm "a");
+  check int_list "empty pattern row" [ 0 ] (Fm_index.locate fm (Fm_index.whole fm))
+
+let test_fm_rejects_bad_text () =
+  match Fm_index.build "acgn" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_fm_occ_rates_agree () =
+  let st = Random.State.make [| 13 |] in
+  let text = Test_util.random_dna st 400 in
+  let pattern = String.sub text 100 5 in
+  let a = Fm_index.build ~occ_rate:1 text in
+  let b = Fm_index.build ~occ_rate:200 text in
+  check int_list "occ rate does not change answers" (Fm_index.find_all a pattern)
+    (Fm_index.find_all b pattern)
+
+let test_fm_space_report () =
+  let fm = Fm_index.build (Test_util.random_dna (Random.State.make [| 1 |]) 1000) in
+  let report = Fm_index.space_report fm in
+  check bool "has bwt entry" true (List.mem_assoc "bwt (1 byte/char)" report);
+  List.iter (fun (_, v) -> check bool "positive" true (v > 0)) report
+
+let () =
+  Alcotest.run "fmindex"
+    [
+      ( "bwt",
+        [
+          Alcotest.test_case "paper example" `Quick test_bwt_paper_example;
+          Alcotest.test_case "empty" `Quick test_bwt_empty;
+          Alcotest.test_case "inverse paper" `Quick test_bwt_inverse_paper;
+          Alcotest.test_case "inverse rejects" `Quick test_bwt_inverse_rejects;
+          Alcotest.test_case "is permutation" `Quick test_bwt_is_permutation;
+          prop_bwt_roundtrip;
+        ] );
+      ( "occ",
+        [
+          Alcotest.test_case "matches naive at all rates" `Quick test_occ_matches_naive;
+          Alcotest.test_case "validation" `Quick test_occ_validation;
+        ] );
+      ( "fm_index",
+        [
+          Alcotest.test_case "paper search" `Quick test_fm_paper_search;
+          Alcotest.test_case "empty pattern" `Quick test_fm_empty_pattern;
+          Alcotest.test_case "absent pattern" `Quick test_fm_absent;
+          Alcotest.test_case "pattern longer than text" `Quick test_fm_longer_than_text;
+          Alcotest.test_case "paper extend steps" `Quick test_fm_extend_steps_follow_paper;
+          Alcotest.test_case "rejects bad text" `Quick test_fm_rejects_bad_text;
+          Alcotest.test_case "empty text" `Quick test_fm_empty_text;
+          Alcotest.test_case "occ rates agree" `Quick test_fm_occ_rates_agree;
+          Alcotest.test_case "space report" `Quick test_fm_space_report;
+          prop_fm_equals_naive;
+          prop_fm_sampling_rates;
+        ] );
+    ]

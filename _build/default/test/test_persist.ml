@@ -1,0 +1,188 @@
+(* Tests for index persistence and the batch read mapper. *)
+
+open Core
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let with_temp f =
+  let path = Filename.temp_file "kmm" ".fmi" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* FM-index save/load                                                   *)
+
+let prop_fm_roundtrip =
+  Test_util.qtest ~count:100 "fm save/load roundtrip"
+    QCheck2.Gen.(pair (Test_util.dna_gen ~lo:1 ~hi:300 ()) (Test_util.dna_gen ~lo:1 ~hi:6 ()))
+    (fun (text, pattern) ->
+      with_temp (fun path ->
+          let fm = Fmindex.Fm_index.build text in
+          Fmindex.Fm_index.save fm path;
+          let fm' = Fmindex.Fm_index.load path in
+          Fmindex.Fm_index.text fm' = text
+          && Fmindex.Fm_index.bwt fm' = Fmindex.Fm_index.bwt fm
+          && Fmindex.Fm_index.find_all fm' pattern = Fmindex.Fm_index.find_all fm pattern))
+
+let prop_fm_roundtrip_rates =
+  Test_util.qtest ~count:50 "roundtrip preserves nondefault rates"
+    (Test_util.dna_gen ~lo:10 ~hi:200 ())
+    (fun text ->
+      with_temp (fun path ->
+          let fm = Fmindex.Fm_index.build ~occ_rate:7 ~sa_rate:5 text in
+          Fmindex.Fm_index.save fm path;
+          let fm' = Fmindex.Fm_index.load path in
+          let probe = String.sub text 0 (min 4 (String.length text)) in
+          Fmindex.Fm_index.find_all fm' probe = Fmindex.Fm_index.find_all fm probe))
+
+let test_fm_load_garbage () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      output_string oc "definitely not an index\nxxxx";
+      close_out oc;
+      match Fmindex.Fm_index.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "garbage accepted")
+
+let test_fm_load_truncated () =
+  with_temp (fun path ->
+      let fm = Fmindex.Fm_index.build "acgtacgtacgtacgtacgt" in
+      Fmindex.Fm_index.save fm path;
+      let content = In_channel.with_open_bin path In_channel.input_all in
+      let oc = open_out_bin path in
+      output_string oc (String.sub content 0 (String.length content - 3));
+      close_out oc;
+      match Fmindex.Fm_index.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "truncated file accepted")
+
+let test_index_file_size () =
+  (* The point of the format: ~n/4 bytes, not the in-memory footprint. *)
+  with_temp (fun path ->
+      let text = Dna.Sequence.to_string (Dna.Sequence.random ~state:(Random.State.make [| 4 |]) 10_000) in
+      Fmindex.Fm_index.save (Fmindex.Fm_index.build text) path;
+      let size = (Unix.stat path).Unix.st_size in
+      check bool "about n/4" true (size < 2_700 && size > 2_400))
+
+let prop_kmismatch_index_roundtrip =
+  Test_util.qtest ~count:50 "kmismatch index roundtrip"
+    QCheck2.Gen.(
+      tup3 (Test_util.dna_gen ~lo:20 ~hi:300 ()) (Test_util.dna_gen ~lo:1 ~hi:10 ())
+        (int_range 0 3))
+    (fun (text, pattern, k) ->
+      with_temp (fun path ->
+          let idx = Kmismatch.build_index text in
+          Kmismatch.save_index idx path;
+          let idx' = Kmismatch.load_index path in
+          Kmismatch.text idx' = text
+          && Kmismatch.search idx' ~engine:Kmismatch.M_tree ~pattern ~k
+             = Kmismatch.search idx ~engine:Kmismatch.M_tree ~pattern ~k))
+
+(* ------------------------------------------------------------------ *)
+(* Mapper                                                               *)
+
+let genome =
+  lazy (Dna.Genome_gen.generate { Dna.Genome_gen.default with size = 8_000; seed = 21 })
+
+let test_mapper_finds_planted_reads () =
+  let g = Lazy.force genome in
+  let idx = Kmismatch.of_sequence g in
+  let reads =
+    Dna.Read_sim.simulate
+      { Dna.Read_sim.count = 30; len = 50; error_rate = 0.02;
+        both_strands = true; seed = 5 }
+      g
+  in
+  let k = 3 in
+  let inputs =
+    List.map (fun r -> (r.Dna.Read_sim.id, Dna.Sequence.to_string r.Dna.Read_sim.seq)) reads
+  in
+  let hits, summary = Mapper.map_reads idx ~reads:inputs ~k in
+  check int "total" 30 summary.Mapper.total;
+  List.iter
+    (fun r ->
+      if r.Dna.Read_sim.errors <= k then begin
+        let expected_strand = if r.Dna.Read_sim.forward then `Forward else `Reverse in
+        check bool
+          (Printf.sprintf "read %d found at origin" r.Dna.Read_sim.id)
+          true
+          (List.exists
+             (fun h ->
+               h.Mapper.read_id = r.Dna.Read_sim.id
+               && h.Mapper.pos = r.Dna.Read_sim.origin
+               && h.Mapper.strand = expected_strand
+               && h.Mapper.distance = r.Dna.Read_sim.errors)
+             hits)
+      end)
+    reads
+
+let test_mapper_single_strand () =
+  let g = Lazy.force genome in
+  let idx = Kmismatch.of_sequence g in
+  let seq = Dna.Sequence.to_string (Dna.Sequence.sub g ~pos:100 ~len:40) in
+  let rc = Dna.Sequence.to_string (Dna.Sequence.revcomp (Dna.Sequence.of_string seq)) in
+  let hits_fwd, _ = Mapper.map_reads ~both_strands:false idx ~reads:[ (0, rc) ] ~k:0 in
+  check int "revcomp invisible on one strand" 0 (List.length hits_fwd);
+  let hits_both, _ = Mapper.map_reads ~both_strands:true idx ~reads:[ (0, rc) ] ~k:0 in
+  check bool "found via reverse strand" true
+    (List.exists (fun h -> h.Mapper.pos = 100 && h.Mapper.strand = `Reverse) hits_both)
+
+let test_mapper_summary_consistency () =
+  let g = Lazy.force genome in
+  let idx = Kmismatch.of_sequence g in
+  let reads =
+    [ (0, "acgtacgtacgtacgtacgtacgtacgtacgtacgtacgt"); (1, Dna.Sequence.to_string (Dna.Sequence.sub g ~pos:0 ~len:40)) ]
+  in
+  let _, summary = Mapper.map_reads idx ~reads ~k:1 in
+  check int "total" 2 summary.Mapper.total;
+  check int "mapped = unique + ambiguous" summary.Mapper.mapped
+    (summary.Mapper.unique + summary.Mapper.ambiguous)
+
+let test_best_hits () =
+  let mk read_id pos distance = { Mapper.read_id; pos; strand = `Forward; distance } in
+  let hits = [ mk 0 5 2; mk 0 9 1; mk 0 12 1; mk 1 3 0 ] in
+  let best = Mapper.best_hits hits in
+  check int "count" 3 (List.length best);
+  check bool "distance-2 hit dropped" true
+    (not (List.exists (fun h -> h.Mapper.pos = 5) best))
+
+let test_to_tsv () =
+  let hits = [ { Mapper.read_id = 3; pos = 7; strand = `Reverse; distance = 2 } ] in
+  check string "tsv line" "3\t7\t-\t2\n" (Mapper.to_tsv hits)
+
+let prop_mapper_matches_engine =
+  Test_util.qtest ~count:100 "mapper fwd-only = raw engine"
+    QCheck2.Gen.(
+      tup3 (Test_util.dna_gen ~lo:20 ~hi:200 ()) (Test_util.dna_gen ~lo:1 ~hi:10 ())
+        (int_range 0 3))
+    (fun (text, pattern, k) ->
+      let idx = Kmismatch.build_index text in
+      let hits, _ = Mapper.map_reads ~both_strands:false idx ~reads:[ (7, pattern) ] ~k in
+      List.map (fun h -> (h.Mapper.pos, h.Mapper.distance)) hits
+      = Kmismatch.search idx ~engine:Kmismatch.M_tree ~pattern ~k)
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "fm_serialization",
+        [
+          Alcotest.test_case "garbage rejected" `Quick test_fm_load_garbage;
+          Alcotest.test_case "truncation rejected" `Quick test_fm_load_truncated;
+          Alcotest.test_case "file size ~ n/4" `Quick test_index_file_size;
+          prop_fm_roundtrip;
+          prop_fm_roundtrip_rates;
+          prop_kmismatch_index_roundtrip;
+        ] );
+      ( "mapper",
+        [
+          Alcotest.test_case "planted reads" `Quick test_mapper_finds_planted_reads;
+          Alcotest.test_case "strand handling" `Quick test_mapper_single_strand;
+          Alcotest.test_case "summary consistency" `Quick test_mapper_summary_consistency;
+          Alcotest.test_case "best hits" `Quick test_best_hits;
+          Alcotest.test_case "tsv" `Quick test_to_tsv;
+          prop_mapper_matches_engine;
+        ] );
+    ]
