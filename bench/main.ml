@@ -15,6 +15,7 @@ let experiments =
     ("fig13", Experiments.fig13);
     ("ablation", Experiments.ablation);
     ("deriv-stress", Experiments.deriv_stress);
+    ("map-throughput", Map_throughput.run);
     ("micro", Micro.run);
   ]
 

@@ -156,19 +156,24 @@ let search_cmd =
 (* --- map ------------------------------------------------------------ *)
 
 let map_cmd =
-  let run genome index_file reads k engine both_strands best =
+  let run genome index_file reads k engine both_strands best jobs =
+    if jobs < 1 then failwith "--jobs must be >= 1";
     let idx = obtain_index ~genome ~index_file in
     let records = Dna.Fasta.read_file reads in
     let inputs =
       List.mapi (fun i r -> (i, Dna.Sequence.to_string r.Dna.Fasta.seq)) records
     in
-    let hits, summary = Core.Mapper.map_reads ~engine ~both_strands idx ~reads:inputs ~k in
+    let hits, summary =
+      Core.Mapper.map_reads ~engine ~both_strands ~domains:jobs idx ~reads:inputs ~k
+    in
     let hits = if best then Core.Mapper.best_hits hits else hits in
     print_string (Core.Mapper.to_tsv hits);
-    Format.eprintf "mapped %d/%d reads (%d unique, %d ambiguous; k=%d, engine=%s)@."
+    Format.eprintf
+      "mapped %d/%d reads (%d unique, %d ambiguous; k=%d, engine=%s, jobs=%d)@."
       summary.Core.Mapper.mapped summary.Core.Mapper.total summary.Core.Mapper.unique
       summary.Core.Mapper.ambiguous k
-      (Core.Kmismatch.engine_name engine);
+      (Core.Kmismatch.engine_name engine)
+      jobs;
     `Ok ()
   in
   let reads =
@@ -182,9 +187,18 @@ let map_cmd =
     Arg.(value & opt bool true & info [ "both-strands" ] ~doc:"Search both strands.")
   in
   let best = Arg.(value & flag & info [ "best" ] ~doc:"Keep only minimal-distance hits.") in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Core.Work_pool.default_domains ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains to map with (default: the number of cores). Output \
+             is byte-identical for every N; N=1 is the sequential path.")
+  in
   Cmd.v
     (Cmd.info "map" ~doc:"Map a read set against a genome")
-    Term.(ret (const run $ genome_arg $ index_arg $ reads $ k $ engine $ both $ best))
+    Term.(ret (const run $ genome_arg $ index_arg $ reads $ k $ engine $ both $ best $ jobs))
 
 (* --- index ---------------------------------------------------------- *)
 

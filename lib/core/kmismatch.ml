@@ -40,19 +40,20 @@ let search ?stats ?config t ~engine ~pattern ~k =
   let pattern = Dna.Sequence.to_string (Dna.Sequence.of_string pattern) in
   if pattern = "" then invalid_arg "Kmismatch.search: empty pattern";
   if k < 0 then invalid_arg "Kmismatch.search: negative k";
-  match engine with
-  | M_tree -> M_tree.search ?config ?stats t.fm_rev ~pattern ~k
-  | S_tree -> S_tree.search ~use_delta:true ?stats t.fm_rev ~pattern ~k
-  | S_tree_no_delta -> S_tree.search ~use_delta:false ?stats t.fm_rev ~pattern ~k
-  | Hybrid -> Hybrid.search ?stats t.fm_rev ~text:t.text ~pattern ~k
-  | Cole -> Cole.search ?stats (Lazy.force t.tree) ~pattern ~k
-  | Amir -> Amir.search ?stats ~pattern ~k t.text
-  | Kangaroo ->
-      if String.length pattern > String.length t.text then []
-      else Stringmatch.Kangaroo.search ~pattern ~text:t.text ~k
-  | Naive ->
-      if String.length pattern > String.length t.text then []
-      else Stringmatch.Hamming.search ~pattern ~text:t.text ~k
+  (* A pattern longer than the text can match nowhere.  Guard once for
+     every engine: the tree/BWT engines are not written for this
+     degenerate case and used to fall through to it. *)
+  if String.length pattern > String.length t.text then []
+  else
+    match engine with
+    | M_tree -> M_tree.search ?config ?stats t.fm_rev ~pattern ~k
+    | S_tree -> S_tree.search ~use_delta:true ?stats t.fm_rev ~pattern ~k
+    | S_tree_no_delta -> S_tree.search ~use_delta:false ?stats t.fm_rev ~pattern ~k
+    | Hybrid -> Hybrid.search ?stats t.fm_rev ~text:t.text ~pattern ~k
+    | Cole -> Cole.search ?stats (Lazy.force t.tree) ~pattern ~k
+    | Amir -> Amir.search ?stats ~pattern ~k t.text
+    | Kangaroo -> Stringmatch.Kangaroo.search ~pattern ~text:t.text ~k
+    | Naive -> Stringmatch.Hamming.search ~pattern ~text:t.text ~k
 
 let positions ?stats t ~engine ~pattern ~k =
   List.map fst (search ?stats t ~engine ~pattern ~k)

@@ -7,45 +7,85 @@ type hit = {
 
 type summary = { total : int; mapped : int; unique : int; ambiguous : int }
 
-let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) index ~reads ~k =
-  let hits = ref [] in
-  let mapped = ref 0 and unique = ref 0 and ambiguous = ref 0 in
-  List.iter
-    (fun (read_id, sequence) ->
-      let search strand pattern =
-        List.map
-          (fun (pos, distance) -> { read_id; pos; strand; distance })
-          (Kmismatch.search index ~engine ~pattern ~k)
+let default_chunk_size = 16
+
+(* Map one read: all forward hits, then all reverse-complement hits, in
+   the order the engine reports them.  Pure with respect to the index,
+   so reads can be fanned out across domains freely. *)
+let map_one ?stats ~engine ~both_strands index ~k (read_id, sequence) =
+  let search strand pattern =
+    List.map
+      (fun (pos, distance) -> { read_id; pos; strand; distance })
+      (Kmismatch.search ?stats index ~engine ~pattern ~k)
+  in
+  let fwd = search `Forward sequence in
+  let rev =
+    if both_strands then begin
+      let rc =
+        Dna.Sequence.to_string
+          (Dna.Sequence.revcomp (Dna.Sequence.of_string sequence))
       in
-      let fwd = search `Forward sequence in
-      let rev =
-        if both_strands then begin
-          let rc =
-            Dna.Sequence.to_string
-              (Dna.Sequence.revcomp (Dna.Sequence.of_string sequence))
+      (* A palindromic read would report each site twice. *)
+      if rc = sequence then [] else search `Reverse rc
+    end
+    else []
+  in
+  fwd @ rev
+
+let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
+    ?(chunk_size = default_chunk_size) ?stats index ~reads ~k =
+  if domains < 1 then invalid_arg "Mapper.map_reads: domains must be >= 1";
+  if chunk_size < 1 then invalid_arg "Mapper.map_reads: chunk_size must be >= 1";
+  let reads = Array.of_list reads in
+  let n = Array.length reads in
+  let bounds = Work_pool.chunks ~total:n ~chunk_size in
+  (* Never keep more domains than there are chunks of work. *)
+  let domains = max 1 (min domains (Array.length bounds)) in
+  (* The Cole engine is the only one touching the index's lazily built
+     suffix tree; force it before fan-out ([Lazy.force] from several
+     domains at once is unsafe). *)
+  if domains > 1 && engine = Kmismatch.Cole then
+    ignore (Kmismatch.suffix_tree index);
+  (* Per-domain counters, merged (commutatively) into the caller's at the
+     end, so the reported totals match a sequential run exactly. *)
+  let worker_stats =
+    match stats with
+    | None -> [||]
+    | Some _ -> Array.init domains (fun _ -> Stats.create ())
+  in
+  (* Slot [i] receives read [i]'s hits no matter which domain computed
+     them: the merge is deterministic by construction. *)
+  let per_read = Array.make n [] in
+  Work_pool.with_pool ~domains (fun pool ->
+      Work_pool.run pool ~tasks:(Array.length bounds) (fun ~worker ~task ->
+          let stats =
+            if worker_stats = [||] then None else Some worker_stats.(worker)
           in
-          (* A palindromic read would report each site twice. *)
-          if rc = sequence then [] else search `Reverse rc
-        end
-        else []
-      in
-      let all = fwd @ rev in
-      (match all with
+          let start, len = bounds.(task) in
+          for i = start to start + len - 1 do
+            per_read.(i) <-
+              map_one ?stats ~engine ~both_strands index ~k reads.(i)
+          done));
+  (match stats with
+  | None -> ()
+  | Some dst -> Array.iter (fun s -> Stats.merge ~into:dst s) worker_stats);
+  let mapped = ref 0 and unique = ref 0 and ambiguous = ref 0 in
+  Array.iter
+    (function
       | [] -> ()
       | [ _ ] ->
           incr mapped;
           incr unique
       | _ :: _ :: _ ->
           incr mapped;
-          incr ambiguous);
-      hits := all @ !hits)
-    reads;
+          incr ambiguous)
+    per_read;
   let hits =
     List.sort
       (fun a b -> compare (a.read_id, a.pos, a.strand) (b.read_id, b.pos, b.strand))
-      !hits
+      (List.concat (Array.to_list per_read))
   in
-  (hits, { total = List.length reads; mapped = !mapped; unique = !unique; ambiguous = !ambiguous })
+  (hits, { total = n; mapped = !mapped; unique = !unique; ambiguous = !ambiguous })
 
 let best_hits hits =
   let best = Hashtbl.create 64 in

@@ -17,9 +17,17 @@ type summary = {
   ambiguous : int;  (** reads with several hits *)
 }
 
+val default_chunk_size : int
+(** Reads per pool task when sharding a batch (currently 16): small
+    enough to load-balance engines whose per-read cost varies, large
+    enough to amortize queue traffic. *)
+
 val map_reads :
   ?engine:Kmismatch.engine ->
   ?both_strands:bool ->
+  ?domains:int ->
+  ?chunk_size:int ->
+  ?stats:Stats.t ->
   Kmismatch.index ->
   reads:(int * string) list ->
   k:int ->
@@ -27,7 +35,19 @@ val map_reads :
 (** Map every [(id, sequence)] read; with [both_strands] (default true)
     the reverse complement is searched too and hits are reported on the
     forward coordinate system.  Hits are sorted by read id, then
-    position.  Engine defaults to [M_tree]. *)
+    position.  Engine defaults to [M_tree].
+
+    [domains] (default 1) shards the batch across a {!Work_pool} of that
+    many OCaml domains in [chunk_size]-read chunks (default
+    {!default_chunk_size}).  The FM-index is immutable, so workers share
+    it without copying.  {b Determinism guarantee:} hits and summary are
+    byte-identical for every [domains]/[chunk_size] combination — each
+    read's hits land in a slot indexed by read position and the merge
+    never depends on scheduling; [domains = 1] {e is} the sequential
+    path (no domain is spawned).  [stats] accumulates engine counters:
+    each domain keeps its own {!Stats.t} and they are summed into
+    [stats] at the end, yielding the same totals as a sequential run.
+    @raise Invalid_argument if [domains < 1] or [chunk_size < 1]. *)
 
 val best_hits : hit list -> hit list
 (** Keep only minimal-distance hits per read (ties all kept). *)

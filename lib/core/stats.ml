@@ -25,6 +25,14 @@ let reset t =
   t.derived_leaves <- 0;
   t.resumes <- 0
 
+let merge ~into src =
+  into.nodes <- into.nodes + src.nodes;
+  into.leaves <- into.leaves + src.leaves;
+  into.rank_calls <- into.rank_calls + src.rank_calls;
+  into.derivations <- into.derivations + src.derivations;
+  into.derived_leaves <- into.derived_leaves + src.derived_leaves;
+  into.resumes <- into.resumes + src.resumes
+
 let total_leaves t = t.leaves + t.derived_leaves
 
 let pp ppf t =

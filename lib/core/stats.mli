@@ -15,6 +15,14 @@ type t = {
 }
 
 val create : unit -> t
+
 val reset : t -> unit
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every counter of [src] into [into].  All
+    counters are sums over per-search increments, so merging per-domain
+    accumulators yields exactly the counters a sequential run would have
+    produced, regardless of scheduling order. *)
+
 val total_leaves : t -> int
 val pp : Format.formatter -> t -> unit

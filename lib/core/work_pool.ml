@@ -1,0 +1,147 @@
+(* A small domain pool: Mutex/Condition chunk queue over Domain.spawn.
+
+   One job at a time.  A job is [total] integer tasks; [next] is the
+   queue head.  Workers (and the submitting domain, as worker 0) pull
+   task ids under [lock], execute them unlocked, and bump [finished]
+   when done.  Results are written by the task bodies into caller-owned
+   per-task slots, so merging is deterministic by construction.
+
+   On an exception the remaining tasks still run (keeping the
+   [finished = total] completion invariant trivially true even with
+   tasks in flight on other domains); the first exception observed is
+   re-raised at the submitter once the job has fully drained. *)
+
+type job = {
+  body : worker:int -> task:int -> unit;
+  total : int;
+  mutable next : int;  (* next task id to hand out *)
+  mutable finished : int;  (* task ids fully executed *)
+  mutable error : exn option;  (* first exception raised by a task *)
+}
+
+type t = {
+  lock : Mutex.t;
+  work_ready : Condition.t;  (* a job was installed, or shutdown begun *)
+  work_done : Condition.t;  (* a job drained *)
+  mutable job : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;  (* length [n - 1] *)
+  n : int;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+let domains t = t.n
+
+(* Pull and execute tasks until none are left to hand out.  Called with
+   [t.lock] held; returns with it held. *)
+let drain_tasks t j ~worker =
+  while j.next < j.total do
+    let task = j.next in
+    j.next <- j.next + 1;
+    Mutex.unlock t.lock;
+    let error = match j.body ~worker ~task with
+      | () -> None
+      | exception e -> Some e
+    in
+    Mutex.lock t.lock;
+    (match error with
+    | None -> ()
+    | Some _ when j.error <> None -> ()
+    | Some _ -> j.error <- error);
+    j.finished <- j.finished + 1;
+    if j.finished = j.total then Condition.broadcast t.work_done
+  done
+
+let worker_loop t ~worker =
+  Mutex.lock t.lock;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.lock
+    else
+      match t.job with
+      | Some j when j.next < j.total ->
+          drain_tasks t j ~worker;
+          loop ()
+      | _ ->
+          Condition.wait t.work_ready t.lock;
+          loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let n = match domains with None -> default_domains () | Some d -> d in
+  if n < 1 then invalid_arg "Work_pool.create: domains must be >= 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      stop = false;
+      workers = [||];
+      n;
+    }
+  in
+  t.workers <-
+    Array.init (n - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t ~worker:(i + 1)));
+  t
+
+let run t ~tasks body =
+  if tasks < 0 then invalid_arg "Work_pool.run: negative task count";
+  if t.stop then invalid_arg "Work_pool.run: pool is shut down";
+  if tasks = 0 then ()
+  else if t.n = 1 then
+    (* Sequential special case: inline, in order, no locking. *)
+    for task = 0 to tasks - 1 do
+      body ~worker:0 ~task
+    done
+  else begin
+    Mutex.lock t.lock;
+    if t.job <> None then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Work_pool.run: a job is already running (re-entrant run?)"
+    end;
+    let j = { body; total = tasks; next = 0; finished = 0; error = None } in
+    t.job <- Some j;
+    Condition.broadcast t.work_ready;
+    (* The submitting domain participates as worker 0. *)
+    drain_tasks t j ~worker:0;
+    while j.finished < j.total do
+      Condition.wait t.work_done t.lock
+    done;
+    t.job <- None;
+    Mutex.unlock t.lock;
+    match j.error with Some e -> raise e | None -> ()
+  end
+
+let map_array t ~f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run t ~tasks:n (fun ~worker:_ ~task ->
+        results.(task) <- Some (f a.(task)));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let shutdown t =
+  if not t.stop then begin
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let chunks ~total ~chunk_size =
+  if total < 0 then invalid_arg "Work_pool.chunks: negative total";
+  if chunk_size < 1 then invalid_arg "Work_pool.chunks: chunk_size must be >= 1";
+  let n = (total + chunk_size - 1) / chunk_size in
+  Array.init n (fun i ->
+      let start = i * chunk_size in
+      (start, min chunk_size (total - start)))

@@ -1,0 +1,60 @@
+(** A small fixed-size pool of OCaml 5 domains with a mutex/condition
+    chunk queue and deterministic result merging.
+
+    The pool is the scaling primitive the batch layers ([Mapper], the
+    bench harness) build on: a job is a fixed number of integer tasks
+    (typically chunk indices); workers pull the next task id under a
+    mutex, run it without the lock, and results land in caller-owned
+    slots indexed by task id — so the merged output never depends on
+    scheduling order.
+
+    A pool of [domains = 1] spawns nothing and runs every task inline on
+    the calling domain, in task order, without touching the lock: the
+    sequential path is literally the [domains = 1] special case, not a
+    different code path.
+
+    Tasks must not themselves submit jobs to the same pool. *)
+
+type t
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1. *)
+
+val create : ?domains:int -> unit -> t
+(** Create a pool that executes jobs on [domains] domains in total:
+    [domains - 1] spawned workers plus the calling domain, which
+    participates in every job.  Default: [default_domains ()].
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** Number of domains (including the caller) jobs run on. *)
+
+val run : t -> tasks:int -> (worker:int -> task:int -> unit) -> unit
+(** [run t ~tasks body] executes [body ~worker ~task] once for every
+    [task] in [0 .. tasks - 1] across the pool and returns when all have
+    finished.  [worker] is a stable id in [0 .. domains t - 1] (0 is the
+    calling domain), so callers can keep per-worker accumulators (e.g.
+    one [Stats.t] per domain) without locking.  If any task raises, the
+    remaining tasks still run and the first exception is re-raised at
+    the caller.  With [domains t = 1] the tasks run inline, in order.
+    @raise Invalid_argument if called re-entrantly from a task, after
+    [shutdown], or with [tasks < 0]. *)
+
+val map_array : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map_array t ~f a] applies [f] to every element of [a] on the pool;
+    slot [i] of the result is [f a.(i)] regardless of which domain ran
+    it (deterministic merge). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent; the pool cannot be used
+    afterwards. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ?domains f] creates a pool, runs [f], and shuts the pool
+    down even if [f] raises. *)
+
+val chunks : total:int -> chunk_size:int -> (int * int) array
+(** [chunks ~total ~chunk_size] covers [0 .. total - 1] with contiguous
+    [(start, len)] chunks of at most [chunk_size] items, in order: the
+    standard sharding of a batch into pool tasks.
+    @raise Invalid_argument if [total < 0] or [chunk_size < 1]. *)

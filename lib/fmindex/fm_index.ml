@@ -159,15 +159,29 @@ let load path =
         close_in ic;
         failwith (path ^ ": not a kmm FM-index file")
   in
+  (* A forged or bit-flipped header must fail with the same friendly
+     message as an unparsable one — never leak a raw [Invalid_argument]
+     from [Bytes.create (n + 1)] below. *)
+  if n < 0 || occ_rate <= 0 || sa_rate <= 0 || sentinel_row < 0
+     || sentinel_row > n
+  then begin
+    close_in ic;
+    failwith (path ^ ": corrupt index header")
+  end;
   let payload =
     try really_input_string ic ((n + 3) / 4)
     with End_of_file ->
       close_in ic;
       failwith (path ^ ": truncated index payload")
   in
+  (* The payload is the last thing in the file; trailing bytes mean the
+     file was corrupted (or is not what the header claims). *)
+  (match input_char ic with
+  | _ ->
+      close_in ic;
+      failwith (path ^ ": trailing garbage after index payload")
+  | exception End_of_file -> ());
   close_in ic;
-  if sentinel_row < 0 || sentinel_row > n then
-    failwith (path ^ ": corrupt index header");
   let l = Bytes.create (n + 1) in
   for i = 0 to n - 1 do
     let code = (Char.code payload.[i / 4] lsr (i mod 4 * 2)) land 3 in

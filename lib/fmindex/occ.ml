@@ -49,7 +49,10 @@ let rank t c i =
 
 let rate t = t.rate
 let length t = t.len
-let space_bytes t = 8 * Array.length t.checkpoints
+(* Both resident structures: the checkpoint array (one boxed int per
+   block*code cell) and the [codes] byte table (one byte per BWT
+   position) that ranks scan between checkpoints. *)
+let space_bytes t = (8 * Array.length t.checkpoints) + Bytes.length t.codes
 
 let rank_all t i dst =
   if i < 0 || i > t.len then invalid_arg "Occ.rank_all: index out of range";

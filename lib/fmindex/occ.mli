@@ -21,8 +21,9 @@ val rate : t -> int
 val length : t -> int
 
 val space_bytes : t -> int
-(** Estimated heap footprint of the checkpoint tables, for the index-size
-    experiment. *)
+(** Estimated heap footprint of the whole rank structure — checkpoint
+    tables {e plus} the per-position code byte table scanned between
+    checkpoints — for the index-size experiment. *)
 
 val rank_all : t -> int -> int array -> unit
 (** [rank_all t i dst] writes [rank t c i] into [dst.(c)] for every

@@ -151,7 +151,11 @@ let test_fm_space_report () =
   let fm = Fm_index.build (Test_util.random_dna (Random.State.make [| 1 |]) 1000) in
   let report = Fm_index.space_report fm in
   check bool "has bwt entry" true (List.mem_assoc "bwt (1 byte/char)" report);
-  List.iter (fun (_, v) -> check bool "positive" true (v > 0)) report
+  List.iter (fun (_, v) -> check bool "positive" true (v > 0)) report;
+  (* The rank structure's accounting must cover its per-position codes
+     byte table (n+1 bytes incl. sentinel), not just the checkpoints. *)
+  check bool "rank entry counts the codes table" true
+    (List.assoc "rank checkpoints" report >= 1001)
 
 let () =
   Alcotest.run "fmindex"

@@ -38,6 +38,63 @@ let prop_fm_roundtrip_rates =
           let probe = String.sub text 0 (min 4 (String.length text)) in
           Fmindex.Fm_index.find_all fm' probe = Fmindex.Fm_index.find_all fm probe))
 
+let test_fm_roundtrip_one_char () =
+  with_temp (fun path ->
+      let fm = Fmindex.Fm_index.build "a" in
+      Fmindex.Fm_index.save fm path;
+      let fm' = Fmindex.Fm_index.load path in
+      check string "1-char text survives" "a" (Fmindex.Fm_index.text fm');
+      check bool "1-char locate" true (Fmindex.Fm_index.find_all fm' "a" = [ 0 ]))
+
+let test_fm_roundtrip_rates_exceed_text () =
+  (* checkpoint / sample rates larger than the text: one checkpoint
+     block, one sampled row — still a faithful roundtrip *)
+  with_temp (fun path ->
+      let text = "acgtacgt" in
+      let fm = Fmindex.Fm_index.build ~occ_rate:1000 ~sa_rate:1000 text in
+      Fmindex.Fm_index.save fm path;
+      let fm' = Fmindex.Fm_index.load path in
+      check string "text" text (Fmindex.Fm_index.text fm');
+      check bool "find_all agrees" true
+        (Fmindex.Fm_index.find_all fm' "acgt" = Fmindex.Fm_index.find_all fm "acgt"))
+
+let expect_load_failure ~containing path =
+  match Fmindex.Fm_index.load path with
+  | exception Failure msg ->
+      check bool
+        (Printf.sprintf "message %S mentions %S" msg containing)
+        true
+        (let len = String.length containing in
+         let n = String.length msg in
+         let rec scan i = i + len <= n && (String.sub msg i len = containing || scan (i + 1)) in
+         scan 0)
+  | _ -> Alcotest.fail "corrupt file accepted"
+
+let test_fm_load_negative_n () =
+  (* a negative length in the header must be the friendly header error,
+     not a raw Invalid_argument from Bytes.create *)
+  with_temp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "kmm-fm-index 1 -5 16 16 0\n";
+      close_out oc;
+      expect_load_failure ~containing:"corrupt index header" path)
+
+let test_fm_load_bad_rates () =
+  with_temp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "kmm-fm-index 1 8 0 16 0\nxx";
+      close_out oc;
+      expect_load_failure ~containing:"corrupt index header" path)
+
+let test_fm_load_trailing_garbage () =
+  with_temp (fun path ->
+      let fm = Fmindex.Fm_index.build "acgtacgtacgtacgtacgt" in
+      Fmindex.Fm_index.save fm path;
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "Z";
+      close_out oc;
+      expect_load_failure ~containing:"trailing garbage" path)
+
 let test_fm_load_garbage () =
   with_temp (fun path ->
       let oc = open_out path in
@@ -171,6 +228,11 @@ let () =
         [
           Alcotest.test_case "garbage rejected" `Quick test_fm_load_garbage;
           Alcotest.test_case "truncation rejected" `Quick test_fm_load_truncated;
+          Alcotest.test_case "1-char genome roundtrip" `Quick test_fm_roundtrip_one_char;
+          Alcotest.test_case "rates exceeding text" `Quick test_fm_roundtrip_rates_exceed_text;
+          Alcotest.test_case "negative n rejected" `Quick test_fm_load_negative_n;
+          Alcotest.test_case "bad rates rejected" `Quick test_fm_load_bad_rates;
+          Alcotest.test_case "trailing garbage rejected" `Quick test_fm_load_trailing_garbage;
           Alcotest.test_case "file size ~ n/4" `Quick test_index_file_size;
           prop_fm_roundtrip;
           prop_fm_roundtrip_rates;
