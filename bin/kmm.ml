@@ -5,6 +5,7 @@
      simulate   sample wgsim-style reads from a genome (FASTA)
      search     find a pattern in a genome with at most k mismatches
      map        map a read file against a genome
+     fuzz       differential-fuzz all engines against the naive oracle
      bwt        print the BWT of a text (demonstration)                 *)
 
 open Cmdliner
@@ -220,6 +221,109 @@ let index_cmd =
     (Cmd.info "index" ~doc:"Build and save an FM-index of a genome")
     Term.(ret (const run $ genome $ out))
 
+(* --- fuzz ----------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run seed iters max_text replay corpus_out verbose =
+    let module O = Core.Oracle in
+    (* 1. Replay the regression corpus (if present / requested). *)
+    let replay_failures =
+      match replay with
+      | None -> 0
+      | Some dir ->
+          let per_file = O.replay_dir dir in
+          List.iter
+            (fun (path, divs) ->
+              if divs = [] then begin
+                if verbose then Format.eprintf "replay %s: ok@." path
+              end
+              else
+                List.iter
+                  (fun d -> Format.eprintf "replay %s:@ %a@." path O.pp_divergence d)
+                  divs)
+            per_file;
+          Format.eprintf "replayed %d corpus case(s), %d divergence(s)@."
+            (List.length per_file)
+            (List.fold_left (fun a (_, ds) -> a + List.length ds) 0 per_file);
+          List.fold_left (fun a (_, ds) -> a + List.length ds) 0 per_file
+    in
+    (* 2. Fresh fuzzing. *)
+    let progress =
+      if verbose then
+        Some (fun i -> if i mod 500 = 0 then Format.eprintf "... %d iterations@." i)
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = O.fuzz ?progress ~seed ~iters ~max_text () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if verbose then
+      List.iter
+        (fun (cls, n) -> Format.eprintf "  class %-12s %d case(s)@." cls n)
+        report.O.by_class;
+    List.iter
+      (fun d ->
+        Format.printf "%a@." O.pp_divergence d;
+        match corpus_out with
+        | None -> ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let file =
+              Filename.concat dir
+                (Printf.sprintf "shrunk-%s-%08x.case" d.O.div_subject
+                   (Hashtbl.hash (d.O.div_case, seed)))
+            in
+            O.save_case
+              ~comment:
+                [
+                  Printf.sprintf "shrunk reproducer: engine %s (kmm fuzz --seed %d --iters %d)"
+                    d.O.div_subject seed iters;
+                ]
+              file d.O.div_case;
+            Format.eprintf "wrote %s@." file)
+      report.O.divergences;
+    Format.eprintf "fuzz: %d iteration(s), %d divergence(s), seed %d, %.2fs@."
+      report.O.iters_run
+      (List.length report.O.divergences)
+      seed dt;
+    if report.O.divergences = [] && replay_failures = 0 then `Ok ()
+    else `Error (false, "engines diverge from the naive oracle (see above)")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (runs are reproducible).") in
+  let iters = Arg.(value & opt int 2000 & info [ "iters" ] ~doc:"Number of generated cases.") in
+  let max_text =
+    Arg.(value & opt int 160 & info [ "max-text" ] ~docv:"N" ~doc:"Maximum generated text length.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR" ~doc:"Replay every *.case file in $(docv) first.")
+  in
+  let corpus_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-out" ] ~docv:"DIR"
+          ~doc:"Write shrunk reproducers of any divergence to $(docv) as .case files.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress and class counts.") in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: every engine vs. the naive oracle"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Generates seeded random and adversarial (text, pattern, k) cases \
+              (periodic texts, homopolymer runs, near-full-length patterns, k = 0, \
+              k >= m, single-character genomes, boundary-hugging windows, huge \
+              budgets), runs every engine plus the online Kangaroo and bit-parallel \
+              Shift-Add baselines, and compares against the naive O(mn) reference. \
+              Any divergence is automatically shrunk to a minimal reproducer; use \
+              --corpus-out to persist it for test/corpus replay.";
+         ])
+    Term.(ret (const run $ seed $ iters $ max_text $ replay $ corpus_out $ verbose))
+
 (* --- bwt ------------------------------------------------------------ *)
 
 let bwt_cmd =
@@ -233,4 +337,7 @@ let bwt_cmd =
 let () =
   let doc = "string matching with k mismatches over BWT arrays (ICDE'17 reproduction)" in
   let info = Cmd.info "kmm" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; simulate_cmd; index_cmd; search_cmd; map_cmd; bwt_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; simulate_cmd; index_cmd; search_cmd; map_cmd; fuzz_cmd; bwt_cmd ]))

@@ -24,6 +24,9 @@ let search ?stats ~pattern ~k text =
   if pattern = "" then invalid_arg "Amir.search: empty pattern";
   if k < 0 then invalid_arg "Amir.search: negative k";
   let m = String.length pattern and n = String.length text in
+  (* budgets beyond m behave exactly like k = m; the clamp also keeps
+     the 2k block count from overflowing for absurd budgets *)
+  let k = min k m in
   ignore (stats : Stats.t option);
   if m > n then []
   else if k = 0 then

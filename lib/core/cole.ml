@@ -4,6 +4,8 @@ let search ?stats tree ~pattern ~k =
   if pattern = "" then invalid_arg "Cole.search: empty pattern";
   if k < 0 then invalid_arg "Cole.search: negative k";
   let m = String.length pattern in
+  let k = min k m in
+  (* budgets beyond m behave exactly like k = m *)
   let text = St.text tree in
   let bump (f : Stats.t -> unit) = match stats with Some s -> f s | None -> () in
   let results = ref [] in

@@ -9,6 +9,8 @@ let search ?(use_delta = true) ?stats fm ~text ~pattern ~k =
         invalid_arg "Hybrid.search: pattern must be lowercase acgt")
     pattern;
   let m = String.length pattern in
+  let k = min k m in
+  (* budgets beyond m behave exactly like k = m *)
   let n = Fm.length fm in
   if n <> String.length text then
     invalid_arg "Hybrid.search: index and text lengths differ";

@@ -40,6 +40,12 @@ let search ?stats ?config t ~engine ~pattern ~k =
   let pattern = Dna.Sequence.to_string (Dna.Sequence.of_string pattern) in
   if pattern = "" then invalid_arg "Kmismatch.search: empty pattern";
   if k < 0 then invalid_arg "Kmismatch.search: negative k";
+  (* Degenerate budgets are uniform across engines: a window holds at
+     most m mismatches, so k >= m answers every window position at its
+     true distance.  Clamping here (and in each engine, for direct
+     callers) makes that explicit and keeps k-derived arithmetic such as
+     the M-tree's 2k+3 merge horizon safely inside the word. *)
+  let k = min k (String.length pattern) in
   (* A pattern longer than the text can match nowhere.  Guard once for
      every engine: the tree/BWT engines are not written for this
      degenerate case and used to fall through to it. *)

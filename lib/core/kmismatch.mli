@@ -43,7 +43,12 @@ val search :
   (int * int) list
 (** All [(position, distance)] with [distance <= k], ascending by
     position.  The pattern is normalized (case); raises [Invalid_argument]
-    if it is empty, contains non-ACGT characters, or [k < 0]. *)
+    if it is empty, contains non-ACGT characters, or [k < 0].
+
+    Degenerate budgets are uniform across engines: any [k >= length
+    pattern] is equivalent to [k = length pattern] (every window position
+    is returned at its true distance), and the budget is clamped there
+    internally, so even [k = max_int] is safe. *)
 
 val positions :
   ?stats:Stats.t -> index -> engine:engine -> pattern:string -> k:int -> int list

@@ -37,6 +37,9 @@ let search ?(config = default_config) ?stats fm ~pattern ~k =
         invalid_arg "M_tree.search: pattern must be lowercase acgt")
     pattern;
   let m = String.length pattern in
+  (* k >= m is the same query as k = m (see Kmismatch); the clamp also
+     keeps [2k+3] and the R-array limit [k+2] from overflowing. *)
+  let k = min k m in
   let n = Fm.length fm in
   let bump (f : Stats.t -> unit) = match stats with Some s -> f s | None -> () in
   if m > n then []

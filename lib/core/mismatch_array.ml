@@ -23,6 +23,9 @@ let build r ~k =
   if r = "" then invalid_arg "Mismatch_array.build: empty pattern";
   if k < 0 then invalid_arg "Mismatch_array.build: negative k";
   let m = String.length r in
+  (* An overlap holds at most m mismatches, so any k >= m stores the
+     complete R arrays; clamping keeps the k+2 limit overflow-safe. *)
+  let k = min k m in
   let lce = Suffix.Lce.make r in
   let tables =
     Array.init m (fun i ->

@@ -32,6 +32,8 @@ let search ?(use_delta = true) ?stats fm ~pattern ~k =
         invalid_arg "S_tree.search: pattern must be lowercase acgt")
     pattern;
   let m = String.length pattern in
+  let k = min k m in
+  (* budgets beyond m behave exactly like k = m *)
   let n = Fm.length fm in
   let bump (f : Stats.t -> unit) = match stats with Some s -> f s | None -> () in
   if m > n then []

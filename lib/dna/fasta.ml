@@ -16,6 +16,11 @@ let parse_string text =
         if Buffer.length body > 0 then
           fail !lineno "sequence data before any '>' header"
     | Some n ->
+        (* A header with no sequence lines before the next header (or end
+           of input) is almost always a truncated or corrupt file; reject
+           it rather than silently producing an empty sequence. *)
+        if Buffer.length body = 0 then
+          fail !lineno (Printf.sprintf "record %S has no sequence data" n);
         let s =
           match Sequence.of_string_opt (Buffer.contents body) with
           | Some s -> s

@@ -2,7 +2,15 @@
 
     Supports multi-record files, line-wrapped sequence bodies, comments
     introduced by [;], and blank lines.  Records with characters outside the
-    DNA alphabet are rejected. *)
+    DNA alphabet are rejected.
+
+    Edge-case behavior (locked in by tests):
+    - CRLF ([\r\n]) line endings are accepted everywhere;
+    - a final record without a trailing newline parses normally;
+    - a [>] header with no sequence lines before the next header or end of
+      input raises {!Parse_error} — truncated files fail loudly instead of
+      yielding silent empty sequences.  (Consequently {!to_string} output
+      round-trips only for records with nonempty sequences.) *)
 
 type record = { name : string; seq : Sequence.t }
 

@@ -28,6 +28,11 @@ let distance_at t ~pos ~k =
 
 let search ~pattern ~text ~k =
   if k < 0 then invalid_arg "Kangaroo.search: negative k";
+  (* A window holds at most m mismatches, so any budget k >= m behaves
+     exactly like k = m; clamping also keeps the k+1 jump limit below
+     from overflowing for absurd budgets (the differential fuzzer caught
+     [k = max_int] reporting every window at distance 0). *)
+  let k = min k (String.length pattern) in
   let t = make ~pattern ~text in
   let acc = ref [] in
   for pos = t.n - t.m downto 0 do

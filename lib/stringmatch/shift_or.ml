@@ -20,12 +20,23 @@ let find_all ~pattern ~text =
   List.rev !acc
 
 (* Field width for the Shift-Add automaton: each field must count to k+1
-   without touching its own top (overflow) bit. *)
+   without touching its own top (overflow) bit, i.e. k+1 <= 2^(b-1) - 1.
+   Computed without ever forming k+1 or shifting past bit 61, both of
+   which overflow for huge budgets: the old [1 lsl (b-1) > k + 1] loop
+   returned 2 for [k = max_int] (so [fits] lied and [search] miscounted)
+   and looped forever for [k + 1 >= 2^62].  Budgets too large for any
+   62-bit field report [max_int], which no word can fit. *)
 let field_bits k =
-  let rec go b = if 1 lsl (b - 1) > k + 1 then b else go (b + 1) in
+  let rec go b =
+    if b > 62 then max_int
+    else if k <= (1 lsl (b - 1)) - 2 then b
+    else go (b + 1)
+  in
   go 2
 
-let fits ~m ~k = m >= 1 && k >= 0 && m * field_bits k <= 63
+(* [m * field_bits k <= 63], phrased as a division so that neither the
+   huge-[k] sentinel nor a huge [m] can overflow the product. *)
+let fits ~m ~k = m >= 1 && k >= 0 && field_bits k <= 63 / m
 
 let search ~pattern ~text ~k =
   let m = String.length pattern in

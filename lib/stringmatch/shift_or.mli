@@ -22,4 +22,7 @@ val search : pattern:string -> text:string -> k:int -> (int * int) list
     not fit, is empty, or [k < 0]. *)
 
 val fits : m:int -> k:int -> bool
-(** Whether a pattern of length [m] with budget [k] fits the word. *)
+(** Whether a pattern of length [m] with budget [k] fits the word.
+    Overflow-safe for any [m] and [k] (budgets of [2^61 - 1] and beyond,
+    [max_int] included, never fit: their counter fields would need more
+    than the 62 usable bits). *)

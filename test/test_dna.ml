@@ -110,6 +110,42 @@ let test_fasta_errors () =
   expect_fail ">\nacgt\n";
   expect_fail ">r1\nacgnt\n"
 
+let test_fasta_crlf_and_final_newline () =
+  (* Locked-in edge-case behavior: CRLF documents parse (per-line trim),
+     and the final record may end without a trailing newline. *)
+  (match Fasta.parse_string ">r1\r\nACGT\r\nacgt\r\n>r2 desc\r\naa" with
+  | [ r1; r2 ] ->
+      check string "r1 name" "r1" r1.Fasta.name;
+      check string "r1 seq joined across CRLF lines" "acgtacgt"
+        (Sequence.to_string r1.Fasta.seq);
+      check string "r2 name keeps description" "r2 desc" r2.Fasta.name;
+      check string "r2 seq without trailing newline" "aa"
+        (Sequence.to_string r2.Fasta.seq)
+  | _ -> Alcotest.fail "expected two records");
+  match Fasta.parse_string ">only\nacgt" with
+  | [ r ] ->
+      check string "single record, no final newline" "acgt"
+        (Sequence.to_string r.Fasta.seq)
+  | _ -> Alcotest.fail "expected one record"
+
+let test_fasta_empty_body_rejected () =
+  (* A header with no sequence lines is a truncation signal, not an empty
+     sequence; every such shape must raise Parse_error. *)
+  let expect_fail doc =
+    match Fasta.parse_string doc with
+    | exception Fasta.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted empty-bodied doc %S" doc
+  in
+  expect_fail ">a\n>b\nacgt\n";
+  (* empty body mid-file *)
+  expect_fail ">a\nacgt\n>b\n";
+  (* empty body at end of file *)
+  expect_fail ">a\n";
+  expect_fail ">a";
+  (* header followed only by blanks/comments is still empty *)
+  expect_fail ">a\n; only a comment\n";
+  expect_fail ">a\n\r\n\n"
+
 let test_fasta_file_roundtrip () =
   let path = Filename.temp_file "repro" ".fa" in
   let records = [ { Fasta.name = "g"; seq = Sequence.random ~state:(Random.State.make [| 3 |]) 137 } ] in
@@ -263,6 +299,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_fasta_roundtrip;
           Alcotest.test_case "wrapping and comments" `Quick test_fasta_wrapping_and_comments;
           Alcotest.test_case "malformed inputs" `Quick test_fasta_errors;
+          Alcotest.test_case "CRLF and final newline" `Quick test_fasta_crlf_and_final_newline;
+          Alcotest.test_case "empty bodies rejected" `Quick test_fasta_empty_body_rejected;
           Alcotest.test_case "file roundtrip" `Quick test_fasta_file_roundtrip;
         ] );
       ( "genome_gen",

@@ -130,6 +130,50 @@ let prop_delta =
       = naive_delta text pattern)
 
 (* ------------------------------------------------------------------ *)
+(* Mismatch arrays: R_i tables vs the pairwise definition               *)
+
+let prop_shift_table_naive =
+  (* R_i is defined as the first k+2 positions where r[1 .. m-i] and
+     r[i+1 .. m] disagree (paper SS:IV.B); check every shift of every
+     generated pattern against the naive pairwise scan.  Note that
+     [build] clamps k to m internally, but the overlap at shift i has
+     length m-i <= m-1 < m+2, so the clamp can never truncate a table
+     that the unclamped limit would have kept. *)
+  Test_util.qtest ~count:300 "shift_table = naive_pairwise"
+    QCheck2.Gen.(pair (Test_util.dna_gen ~lo:1 ~hi:60 ()) (int_range 0 6))
+    (fun (r, k) ->
+      let t = Mismatch_array.build r ~k in
+      let m = String.length r in
+      Mismatch_array.shift_table t 0 = [||]
+      && List.for_all
+           (fun i ->
+             Mismatch_array.shift_table t i
+             = Mismatch_array.naive_pairwise
+                 (String.sub r 0 (m - i))
+                 (String.sub r i (m - i))
+                 ~limit:(k + 2))
+           (List.init (m - 1) (fun i -> i + 1)))
+
+let prop_shift_table_periodic =
+  (* Highly periodic patterns are where R_i tables saturate their k+2
+     limit; stress those shapes specifically. *)
+  Test_util.qtest ~count:200 "shift_table = naive_pairwise (periodic)"
+    QCheck2.Gen.(
+      tup3 (Test_util.dna_gen ~lo:1 ~hi:4 ()) (int_range 2 20) (int_range 0 4))
+    (fun (unit_str, reps, k) ->
+      let r = String.concat "" (List.init reps (fun _ -> unit_str)) in
+      let t = Mismatch_array.build r ~k in
+      let m = String.length r in
+      List.for_all
+        (fun i ->
+          Mismatch_array.shift_table t i
+          = Mismatch_array.naive_pairwise
+              (String.sub r 0 (m - i))
+              (String.sub r i (m - i))
+              ~limit:(k + 2))
+        (List.init (m - 1) (fun i -> i + 1)))
+
+(* ------------------------------------------------------------------ *)
 (* Hybrid engine specifics                                              *)
 
 let test_hybrid_rejects_mismatched_text () =
@@ -313,6 +357,7 @@ let () =
         ] );
       ("bwt_invariants", [ prop_rank_correspondence; prop_locate_whole ]);
       ("delta", [ prop_delta ]);
+      ("mismatch_array", [ prop_shift_table_naive; prop_shift_table_periodic ]);
       ( "hybrid",
         [
           Alcotest.test_case "text length check" `Quick test_hybrid_rejects_mismatched_text;
