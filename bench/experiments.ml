@@ -260,7 +260,10 @@ let ablation () =
       [ "Hybrid FM+verify (extension)"; fmt_time hybrid ];
     ];
 
-  (* 2. rankall compression rate: space/time trade-off of SS:III.A. *)
+  (* 2. rankall compression rate: space/time trade-off of SS:III.A.
+     The packed Occ rounds the rate up to a power of two in 32..65536
+     (one interleaved block per checkpoint), so the sweep starts at the
+     finest representable geometry instead of the old byte-scan's 4. *)
   let text = Dna.Sequence.to_string (genome main_target) in
   let rev_text = Dna.Sequence.to_string (Dna.Sequence.rev (genome main_target)) in
   let rows =
@@ -283,7 +286,7 @@ let ablation () =
           Printf.sprintf "%.2f B/char" (float_of_int space /. float_of_int (String.length text));
           fmt_time (dt /. 5.0);
         ])
-      [ 4; 16; 64; 256 ]
+      [ 32; 64; 256; 1024 ]
   in
   section "Ablation: rankall checkpoint rate (space vs time)";
   table ~header:[ "occ rate"; "index size"; "avg time/read" ] rows

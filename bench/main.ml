@@ -16,6 +16,7 @@ let experiments =
     ("ablation", Experiments.ablation);
     ("deriv-stress", Experiments.deriv_stress);
     ("map-throughput", Map_throughput.run);
+    ("rank-locate", (fun () -> Rank_locate.run ()));
     ("micro", Micro.run);
   ]
 

@@ -324,6 +324,47 @@ let fuzz_cmd =
          ])
     Term.(ret (const run $ seed $ iters $ max_text $ replay $ corpus_out $ verbose))
 
+(* --- bench ----------------------------------------------------------- *)
+
+let bench_cmd =
+  let run which out size seed =
+    match which with
+    | "rank-locate" ->
+        Rank_locate.run ~out ~size ~seed ();
+        `Ok ()
+    | other ->
+        `Error
+          (false, Printf.sprintf "unknown benchmark %S (available: rank-locate)" other)
+  in
+  let which =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark to run (rank-locate).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_fmindex.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSON log to append the record to.")
+  in
+  let size =
+    Arg.(value & opt int 1_000_000 & info [ "size" ] ~docv:"N" ~doc:"Text length in bp.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Micro-benchmarks with machine-readable logs"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "rank-locate: the packed-rank FM-index kernel (2-bit interleaved \
+              blocks) against the seed's byte-scan implementation on rank, \
+              extend_all, count and locate workloads, with answers cross-checked. \
+              Appends one JSON object per run to --out.";
+         ])
+    Term.(ret (const run $ which $ out $ size $ seed))
+
 (* --- bwt ------------------------------------------------------------ *)
 
 let bwt_cmd =
@@ -340,4 +381,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; simulate_cmd; index_cmd; search_cmd; map_cmd; fuzz_cmd; bwt_cmd ]))
+          [
+            generate_cmd;
+            simulate_cmd;
+            index_cmd;
+            search_cmd;
+            map_cmd;
+            fuzz_cmd;
+            bench_cmd;
+            bwt_cmd;
+          ]))

@@ -45,4 +45,4 @@ let search ?stats tree ~pattern ~k =
     end
   in
   descend (St.root tree) 0 0 0;
-  List.sort compare !results
+  List.sort Hit.compare !results

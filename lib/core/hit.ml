@@ -1,0 +1,5 @@
+type t = int * int
+
+let compare (p1, d1) (p2, d2) =
+  let c = Int.compare p1 p2 in
+  if c <> 0 then c else Int.compare d1 d2

@@ -1,0 +1,9 @@
+(** A search hit: [(position, distance)] as produced by every k-mismatch
+    engine. *)
+
+type t = int * int
+
+val compare : t -> t -> int
+(** Lexicographic order by position, then distance — a monomorphic
+    comparator so engine result sorts never fall into polymorphic
+    [Stdlib.compare]. *)

@@ -23,9 +23,17 @@ let search ?(use_delta = true) ?stats fm ~text ~pattern ~k =
     in
     let pat_codes = Array.init m (fun i -> Dna.Alphabet.code pattern.[i]) in
     let results = ref [] in
-    let report iv q =
-      List.iter (fun p -> results := (n - p - m, q) :: !results) (Fm.locate fm iv)
+    let locate_buf = ref [||] in
+    let report ((lo, hi) as iv) q =
+      let cnt = hi - lo in
+      if Array.length !locate_buf < cnt then locate_buf := Array.make cnt 0;
+      let buf = !locate_buf in
+      Fm.locate_into fm iv buf;
+      for i = 0 to cnt - 1 do
+        results := (n - Array.unsafe_get buf i - m, q) :: !results
+      done
     in
+    let one = Array.make 1 0 in
     (* Direct verification of the window once its start is pinned down:
        [j] pattern characters already matched with [q] mismatches. *)
     let verify pos j q =
@@ -47,9 +55,8 @@ let search ?(use_delta = true) ?stats fm ~text ~pattern ~k =
       else if hi - lo = 1 then begin
         (* Unique candidate: leave the BWT and compare text directly. *)
         bump (fun s -> s.resumes <- s.resumes + 1);
-        match Fm.locate fm iv with
-        | [ p_rev ] -> verify (n - p_rev - j) j q
-        | _ -> assert false
+        Fm.locate_into fm iv one;
+        verify (n - one.(0) - j) j q
       end
       else begin
         let los = Array.make 5 0 and his = Array.make 5 0 in
@@ -67,5 +74,5 @@ let search ?(use_delta = true) ?stats fm ~text ~pattern ~k =
       end
     in
     expand (Fm.whole fm) 0 0;
-    List.sort compare !results
+    List.sort Hit.compare !results
   end

@@ -56,8 +56,15 @@ let search ?(config = default_config) ?stats fm ~pattern ~k =
           a
     in
     let results = ref [] in
-    let report iv q =
-      List.iter (fun p -> results := (n - p - m, q) :: !results) (Fm.locate fm iv)
+    let locate_buf = ref [||] in
+    let report ((lo, hi) as iv) q =
+      let cnt = hi - lo in
+      if Array.length !locate_buf < cnt then locate_buf := Array.make cnt 0;
+      let buf = !locate_buf in
+      Fm.locate_into fm iv buf;
+      for i = 0 to cnt - 1 do
+        results := (n - Array.unsafe_get buf i - m, q) :: !results
+      done
     in
     (* The hash key is the interval alone: equal intervals imply equal
        first characters (every row in the interval starts with the node's
@@ -350,5 +357,5 @@ let search ?(config = default_config) ?stats fm ~pattern ~k =
          end
        end
      done);
-    List.sort compare !results
+    List.sort Hit.compare !results
   end

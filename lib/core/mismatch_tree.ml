@@ -32,7 +32,16 @@ let build fm ~pattern ~k =
   let record ?(interval = None) misms complete =
     let occurrences =
       match interval with
-      | Some iv -> List.map (fun p -> n - p - m) (Fm.locate fm iv) |> List.sort compare
+      | Some ((lo, hi) as iv) ->
+          let buf = Array.make (hi - lo) 0 in
+          Fm.locate_into fm iv buf;
+          (* Rows index FM(rev s): translate suffix positions of the
+             reversed text into window starts in s. *)
+          for i = 0 to hi - lo - 1 do
+            buf.(i) <- n - buf.(i) - m
+          done;
+          Array.sort Int.compare buf;
+          Array.to_list buf
       | None -> []
     in
     paths := { mismatches = List.rev misms; complete; occurrences } :: !paths

@@ -56,8 +56,42 @@ let shift_add =
         else None);
   }
 
+(* The packed FM-index core as its own subject: a forward index of the
+   text answers k = 0 queries through [find_all], covering the packed
+   rank kernel, the sampled-SA locate walk and pattern validation
+   against the naive reference. *)
+let fm_packed_find_all =
+  {
+    sub_name = "fm-packed-find-all";
+    run =
+      (fun _ c ->
+        if c.k <> 0 then None
+        else
+          let fm = Fmindex.Fm_index.build c.text in
+          Some (List.map (fun p -> (p, 0)) (Fmindex.Fm_index.find_all fm c.pattern)));
+  }
+
+(* Format-v2 persistence under fuzz: the index is saved, reloaded and
+   queried through the fastest engine; any disagreement between the
+   adopted buffers and a freshly built index shows up as a divergence. *)
+let fm_v2_roundtrip =
+  {
+    sub_name = "fm-v2-roundtrip";
+    run =
+      (fun idx c ->
+        let path = Filename.temp_file "kmm-fuzz" ".fmi" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            Kmismatch.save_index idx path;
+            let idx' = Kmismatch.load_index path in
+            Some
+              (Kmismatch.search idx' ~engine:Kmismatch.M_tree ~pattern:c.pattern ~k:c.k)));
+  }
+
 let default_subjects () =
-  List.map engine_subject Kmismatch.all_engines @ [ kangaroo_direct; shift_add ]
+  List.map engine_subject Kmismatch.all_engines
+  @ [ kangaroo_direct; shift_add; fm_packed_find_all; fm_v2_roundtrip ]
 
 (* ------------------------------------------------------------------ *)
 (* Checking                                                            *)
@@ -274,7 +308,7 @@ let shrink ?(max_evals = 4000) still_fails c0 =
   in
   let shrink_k c =
     let cands =
-      List.sort_uniq compare (List.filter (fun k -> 0 <= k && k < c.k) [ 0; c.k / 2; c.k - 1 ])
+      List.sort_uniq Int.compare (List.filter (fun k -> 0 <= k && k < c.k) [ 0; c.k / 2; c.k - 1 ])
     in
     List.find_map (fun k -> let cand = { c with k } in if test cand then Some cand else None) cands
   in
@@ -363,7 +397,11 @@ let fuzz ?subjects ?(classes = all_classes) ?(max_text = 160) ?progress ~seed ~i
       !raw
   in
   let by_class =
-    List.sort compare (Hashtbl.fold (fun name n acc -> (name, n) :: acc) counts [])
+    List.sort
+      (fun (n1, c1) (n2, c2) ->
+        let c = String.compare n1 n2 in
+        if c <> 0 then c else Int.compare c1 c2)
+      (Hashtbl.fold (fun name n acc -> (name, n) :: acc) counts [])
   in
   { iters_run = iters; by_class; divergences = shrunk }
 
@@ -437,7 +475,7 @@ let replay_dir ?subjects dir =
   else
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".case")
-    |> List.sort compare
+    |> List.sort String.compare
     |> List.map (fun f ->
            let path = Filename.concat dir f in
            (path, replay_file ?subjects path))

@@ -55,9 +55,11 @@ type subject = {
 }
 
 val default_subjects : unit -> subject list
-(** The eight {!Kmismatch.all_engines} plus two index-free baselines:
+(** The eight {!Kmismatch.all_engines} plus two index-free baselines —
     the online Kangaroo matcher and (when [Shift_or.fits]) the
-    bit-parallel Shift-Add automaton. *)
+    bit-parallel Shift-Add automaton — plus two packed-FM-index
+    subjects: a forward-index [find_all] check on [k = 0] cases, and a
+    save/load (format v2) roundtrip queried through the M-tree engine. *)
 
 (** {1 Checking} *)
 

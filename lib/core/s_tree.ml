@@ -41,8 +41,15 @@ let search ?(use_delta = true) ?stats fm ~pattern ~k =
     let delta = if use_delta then delta_heuristic fm ~pattern else [||] in
     let pat_codes = Array.init m (fun i -> Dna.Alphabet.code pattern.[i]) in
     let results = ref [] in
-    let report iv q =
-      List.iter (fun p -> results := (n - p - m, q) :: !results) (Fm.locate fm iv)
+    let locate_buf = ref [||] in
+    let report ((lo, hi) as iv) q =
+      let cnt = hi - lo in
+      if Array.length !locate_buf < cnt then locate_buf := Array.make cnt 0;
+      let buf = !locate_buf in
+      Fm.locate_into fm iv buf;
+      for i = 0 to cnt - 1 do
+        results := (n - Array.unsafe_get buf i - m, q) :: !results
+      done
     in
     (* Depth-first over the S-tree; j = characters matched, q = mismatches
        spent.  Branches for all four characters come from one rank-all
@@ -72,5 +79,5 @@ let search ?(use_delta = true) ?stats fm ~pattern ~k =
       end
     in
     expand (Fm.whole fm) 0 0;
-    List.sort compare !results
+    List.sort Hit.compare !results
   end

@@ -10,6 +10,12 @@ val of_text : string -> string
 val of_suffix_array : string -> int array -> string
 (** Same, given a precomputed suffix array of [s] (without sentinel). *)
 
+val packed_of_suffix_array : string -> int array -> Packed_text.t * int
+(** [packed_of_suffix_array s sa] is the 2-bit packed BWT with its
+    sentinel removed, paired with the sentinel's row index — the form the
+    packed FM-index core consumes, built without materializing the
+    byte-per-character BWT string. *)
+
 val inverse : string -> string
 (** [inverse l] recovers [s] from [l = BWT(s ^ "$")] by iterated
     LF-mapping.  Raises [Invalid_argument] if [l] does not contain exactly

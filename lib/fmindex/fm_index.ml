@@ -1,110 +1,238 @@
 type interval = int * int
 
+(* The index owns no byte-per-character BWT copy: the packed payload
+   lives inside [occ]'s interleaved rank blocks (2 bits/base), the
+   sentinel row is tracked out-of-band, and suffix-array samples are a
+   marked-row bitvector with a rank directory plus a flat array —
+   [position_of_row] allocates nothing. *)
 type t = {
   text : string;
-  l : string;  (* BWT(text ^ "$") *)
   occ : Occ.t;
-  c_array : int array;  (* c_array.(c) = # characters with code < c in l *)
+  c_array : int array;  (* c_array.(c) = # characters with code < c in BWT *)
   sa_rate : int;
-  samples : (int, int) Hashtbl.t;  (* row -> text position, sampled *)
+  sentinel_row : int;
+  marks : Bytes.t;  (* bit per row 0..n: row sampled? *)
+  mark_cum : int array;  (* sampled rows before each 64-row chunk *)
+  samples : int array;  (* text position of each sampled row, row order *)
 }
 
 let sigma = Dna.Alphabet.sigma
 
-let build ?(occ_rate = 16) ?(sa_rate = 16) text =
-  if sa_rate <= 0 then invalid_arg "Fm_index.build: sa_rate must be positive";
-  String.iter
-    (fun c ->
-      if not (Dna.Alphabet.is_base c) || c <> Dna.Alphabet.normalize c then
-        invalid_arg "Fm_index.build: text must be lowercase acgt")
-    text;
-  let sa = Suffix.Suffix_array.build text in
-  let l = Bwt.of_suffix_array text sa in
-  let occ = Occ.make ~rate:occ_rate l in
-  let counts = Array.make sigma 0 in
-  String.iter (fun c -> counts.(Dna.Alphabet.code c) <- counts.(Dna.Alphabet.code c) + 1) l;
+(* ------------------------------------------------------------------ *)
+(* Marked-row bitvector                                                 *)
+
+let pop8 = Array.init 256 (fun b ->
+    let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+    go b 0)
+
+let mark_test marks row = (Char.code (Bytes.get marks (row lsr 3)) lsr (row land 7)) land 1 = 1
+
+let mark_set marks row =
+  Bytes.set marks (row lsr 3)
+    (Char.chr (Char.code (Bytes.get marks (row lsr 3)) lor (1 lsl (row land 7))))
+
+(* Number of marked rows strictly before [row]. *)
+let mark_rank t row =
+  let chunk = row lsr 6 in
+  let acc = ref (Array.unsafe_get t.mark_cum chunk) in
+  let first_byte = chunk lsl 3 in
+  for b = first_byte to (row lsr 3) - 1 do
+    acc := !acc + Array.unsafe_get pop8 (Char.code (Bytes.unsafe_get t.marks b))
+  done;
+  let partial = row land 7 in
+  if partial <> 0 then
+    acc :=
+      !acc
+      + Array.unsafe_get pop8
+          (Char.code (Bytes.unsafe_get t.marks (row lsr 3)) land ((1 lsl partial) - 1));
+  !acc
+
+(* Build the rank directory over a marks bitvector of [rows] rows and
+   return the total number of marked rows. *)
+let build_mark_cum marks rows =
+  let nchunks = (rows + 63) / 64 in
+  let cum = Array.make (max 1 nchunks) 0 in
+  let total = ref 0 in
+  for b = 0 to Bytes.length marks - 1 do
+    if b land 7 = 0 && b lsr 3 < nchunks then cum.(b lsr 3) <- !total;
+    total := !total + pop8.(Char.code (Bytes.get marks b))
+  done;
+  (cum, !total)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+
+let c_array_of_counts counts =
   let c_array = Array.make sigma 0 in
   let sum = ref 0 in
   for c = 0 to sigma - 1 do
     c_array.(c) <- !sum;
     sum := !sum + counts.(c)
   done;
-  (* Row i of the matrix of text^"$" corresponds to suffix position:
-     row 0 -> n (the sentinel suffix), row i+1 -> sa.(i).  Sample rows whose
-     position is a multiple of sa_rate so any locate walk ends within
-     sa_rate LF steps. *)
+  c_array
+
+let build ?(occ_rate = 32) ?(sa_rate = 16) text =
+  if sa_rate <= 0 then invalid_arg "Fm_index.build: sa_rate must be positive";
+  String.iter
+    (fun c ->
+      if not (Dna.Alphabet.is_base c) || c <> Dna.Alphabet.normalize c then
+        invalid_arg "Fm_index.build: text must be lowercase acgt")
+    text;
   let n = String.length text in
-  let samples = Hashtbl.create (1 + (n / sa_rate)) in
-  Hashtbl.replace samples 0 n;
+  let sa = Suffix.Suffix_array.build text in
+  let packed, sentinel_row = Bwt.packed_of_suffix_array text sa in
+  let occ = Occ.of_packed ~rate:occ_rate ~sentinels:[| sentinel_row |] packed in
+  let c_array = c_array_of_counts (Occ.counts occ) in
+  (* Row i of the matrix of text^"$" corresponds to suffix position:
+     row 0 -> n (the sentinel suffix), row i+1 -> sa.(i).  Sample rows
+     whose position is a multiple of sa_rate so any locate walk ends
+     within sa_rate LF steps. *)
+  let marks = Bytes.make ((n + 8) / 8) '\000' in
+  mark_set marks 0;
+  let nsamples = ref 1 in
   for i = 0 to n - 1 do
-    if sa.(i) mod sa_rate = 0 then Hashtbl.replace samples (i + 1) sa.(i)
+    if sa.(i) mod sa_rate = 0 then begin
+      mark_set marks (i + 1);
+      incr nsamples
+    end
   done;
-  { text; l; occ; c_array; sa_rate; samples }
+  let samples = Array.make !nsamples 0 in
+  samples.(0) <- n;
+  let j = ref 1 in
+  for i = 0 to n - 1 do
+    if sa.(i) mod sa_rate = 0 then begin
+      samples.(!j) <- sa.(i);
+      incr j
+    end
+  done;
+  let mark_cum, total = build_mark_cum marks (n + 1) in
+  assert (total = !nsamples);
+  { text; occ; c_array; sa_rate; sentinel_row; marks; mark_cum; samples }
 
 let length t = String.length t.text
 let text t = t.text
-let bwt t = t.l
-let whole t = (0, String.length t.l)
+let bwt t = String.init (Occ.length t.occ) (fun row -> Dna.Alphabet.of_code (Occ.get t.occ row))
+let whole t = (0, Occ.length t.occ)
+
+(* ------------------------------------------------------------------ *)
+(* Backward search                                                      *)
 
 let extend t c (lo, hi) =
   if c <= 0 || c >= sigma then None
   else begin
-    let lo' = t.c_array.(c) + Occ.rank t.occ c lo in
-    let hi' = t.c_array.(c) + Occ.rank t.occ c hi in
+    let r_lo, r_hi = Occ.rank_pair t.occ c lo hi in
+    let lo' = t.c_array.(c) + r_lo in
+    let hi' = t.c_array.(c) + r_hi in
     if lo' < hi' then Some (lo', hi') else None
   end
 
 let interval_of_char t c = extend t c (whole t)
 
-let search t pat =
+(* Character codes of a pattern, case folded; [None] when any character
+   is outside ACGT (such a pattern occurs nowhere rather than raising). *)
+let codes_of_pattern pat =
   let m = String.length pat in
-  if m = 0 then Some (whole t)
-  else begin
-    let rec go i iv =
-      if i < 0 then Some iv
-      else
-        match extend t (Dna.Alphabet.code pat.[i]) iv with
-        | None -> None
-        | Some iv' -> go (i - 1) iv'
-    in
-    go (m - 1) (whole t)
-  end
+  let codes = Array.make m 0 in
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    match Dna.Alphabet.code_opt pat.[i] with
+    | Some c when c > 0 -> codes.(i) <- c
+    | _ -> ok := false
+  done;
+  if !ok then Some codes else None
 
-let count t pat = match search t pat with None -> 0 | Some (lo, hi) -> hi - lo
+let search t pat =
+  match codes_of_pattern pat with
+  | None -> None
+  | Some codes ->
+      let m = Array.length codes in
+      if m = 0 then Some (whole t)
+      else begin
+        let rec go i iv =
+          if i < 0 then Some iv
+          else match extend t codes.(i) iv with None -> None | Some iv' -> go (i - 1) iv'
+        in
+        go (m - 1) (whole t)
+      end
+
+(* [count] is [search] unrolled into an allocation-free loop: no interval
+   options, no per-step tuples, and the shared-decode pair kernel doing
+   the two rank queries of each step.  The unchecked kernel is sound
+   here: [codes_of_pattern] proves every [c] is in 1..sigma-1, and the
+   interval arithmetic keeps [0 <= lo <= hi <= length] invariant. *)
+let count t pat =
+  match codes_of_pattern pat with
+  | None -> 0
+  | Some codes ->
+      let m = Array.length codes in
+      if m = 0 then Occ.length t.occ
+      else begin
+        let lo = ref 0 and hi = ref (Occ.length t.occ) in
+        let pr = Array.make 2 0 in
+        let i = ref (m - 1) in
+        while !i >= 0 && !lo < !hi do
+          let c = Array.unsafe_get codes !i in
+          Occ.rank_pair_into_unsafe t.occ c !lo !hi pr;
+          let cc = Array.unsafe_get t.c_array c in
+          lo := cc + Array.unsafe_get pr 0;
+          hi := cc + Array.unsafe_get pr 1;
+          decr i
+        done;
+        if !hi > !lo then !hi - !lo else 0
+      end
 
 let lf t row =
-  let c = Dna.Alphabet.code t.l.[row] in
-  t.c_array.(c) + Occ.rank t.occ c row
+  let c, r = Occ.char_rank t.occ row in
+  t.c_array.(c) + r
 
 let position_of_row t row =
   let rec walk row steps =
-    match Hashtbl.find_opt t.samples row with
-    | Some pos -> pos + steps
-    | None -> walk (lf t row) (steps + 1)
+    if mark_test t.marks row then t.samples.(mark_rank t row) + steps
+    else walk (lf t row) (steps + 1)
   in
   walk row 0
 
-let locate t (lo, hi) =
-  let acc = ref [] in
+let locate_into t (lo, hi) dst =
+  let rows = Occ.length t.occ in
+  if lo < 0 || hi > rows || lo > hi then invalid_arg "Fm_index.locate_into: bad interval";
+  if Array.length dst < hi - lo then invalid_arg "Fm_index.locate_into: buffer too small";
   for row = lo to hi - 1 do
-    acc := position_of_row t row :: !acc
-  done;
-  List.sort_uniq compare !acc
+    Array.unsafe_set dst (row - lo) (position_of_row t row)
+  done
+
+let locate t (lo, hi) =
+  if hi <= lo then []
+  else begin
+    let buf = Array.make (hi - lo) 0 in
+    locate_into t (lo, hi) buf;
+    Array.sort Int.compare buf;
+    (* Distinct rows resolve to distinct suffix positions, so no dedup
+       pass is needed. *)
+    Array.to_list buf
+  end
 
 let find_all t pat =
   match search t pat with None -> [] | Some iv -> locate t iv
 
 let space_report t =
   [
-    ("bwt (1 byte/char)", String.length t.l);
-    ("rank checkpoints", Occ.space_bytes t.occ);
-    ("sa samples", 24 * Hashtbl.length t.samples);
+    ("packed bwt + rank blocks", Occ.space_bytes t.occ);
+    ("sa marks (bitvector + rank dir)", Bytes.length t.marks + (8 * Array.length t.mark_cum));
+    ("sa samples", 8 * Array.length t.samples);
     ("c array", 8 * sigma);
+    ("text (1 byte/char)", String.length t.text);
   ]
 
 let extend_all t (lo, hi) ~los ~his =
-  Occ.rank_all t.occ lo los;
-  Occ.rank_all t.occ hi his;
+  (* One boundary check here, then the unchecked pair kernel: engines
+     call this millions of times per read with intervals they derived
+     from [whole]/previous extensions, so the in-range invariant holds
+     and per-call revalidation inside [Occ] would be pure overhead. *)
+  if lo < 0 || hi < lo || hi > Occ.length t.occ then
+    invalid_arg "Fm_index.extend_all: interval out of range";
+  if Array.length los <> sigma || Array.length his <> sigma then
+    invalid_arg "Fm_index.extend_all: bad dst size";
+  Occ.rank_all_pair_unsafe t.occ lo hi los his;
   for c = 0 to sigma - 1 do
     let base = Array.unsafe_get t.c_array c in
     Array.unsafe_set los c (base + Array.unsafe_get los c);
@@ -113,106 +241,204 @@ let extend_all t (lo, hi) ~los ~his =
 
 (* --- persistence ----------------------------------------------------- *)
 
-(* File layout: a one-line header ["kmm-fm-index 1 <n> <occ_rate>
-   <sa_rate> <sentinel_row>\n"] followed by ceil(n/4) bytes of 2-bit
-   codes for the BWT with its sentinel removed. *)
+(* Format v2: a one-line ASCII header
+       "kmm-fm-index 2 <n> <occ_rate> <sa_rate> <sentinel_row> <nsamples>
+        <blocks_bytes> <super_len>\n"
+   followed by five binary little-endian sections:
+     1. packed text          ceil(n/4) bytes (2-bit codes, 4 bases/byte)
+     2. occ blocks           <blocks_bytes> bytes (interleaved counts+payload)
+     3. occ superblocks      <super_len> * 8 bytes (int64)
+     4. sa marks bitvector   ceil((n+1)/8) bytes
+     5. sa samples           <nsamples> * 8 bytes (int64)
+   Loading adopts the buffers directly (read + structural validation);
+   no BWT inversion, no recount, no LF walk.  The v1 format (header
+   version "1", payload = packed BWT only) is still read, through the
+   seed's reconstruction path. *)
 
 let magic = "kmm-fm-index"
 
+let bytes_of_ints a =
+  let b = Bytes.create (8 * Array.length a) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (i * 8) (Int64.of_int v)) a;
+  b
+
+let ints_of_string s =
+  Array.init (String.length s / 8) (fun i -> Int64.to_int (String.get_int64_le s (i * 8)))
+
 let save t path =
-  let l = t.l in
   let n = String.length t.text in
-  let sentinel_row = String.index l Dna.Alphabet.sentinel in
+  let blocks = Occ.raw_blocks t.occ in
+  let super = Occ.raw_super t.occ in
   let oc = open_out_bin path in
-  Printf.fprintf oc "%s 1 %d %d %d %d\n" magic n (Occ.rate t.occ) t.sa_rate
-    sentinel_row;
-  let buf = Bytes.make ((n + 3) / 4) '\000' in
-  let idx = ref 0 in
-  String.iter
-    (fun c ->
-      if c <> Dna.Alphabet.sentinel then begin
-        let code = Dna.Alphabet.code c - 1 in
-        let byte = !idx / 4 and off = !idx mod 4 * 2 in
-        Bytes.set buf byte
-          (Char.chr (Char.code (Bytes.get buf byte) lor (code lsl off)));
-        incr idx
-      end)
-    l;
-  output_bytes oc buf;
+  Printf.fprintf oc "%s 2 %d %d %d %d %d %d %d\n" magic n (Occ.rate t.occ) t.sa_rate
+    t.sentinel_row (Array.length t.samples) (Bytes.length blocks) (Array.length super);
+  output_bytes oc (Packed_text.bytes (Packed_text.of_string t.text));
+  output_bytes oc blocks;
+  output_bytes oc (bytes_of_ints super);
+  output_bytes oc t.marks;
+  output_bytes oc (bytes_of_ints t.samples);
   close_out oc
 
-let load path =
-  let ic = open_in_bin path in
-  let header = try input_line ic with End_of_file -> "" in
-  let n, occ_rate, sa_rate, sentinel_row =
-    match String.split_on_char ' ' header with
-    | [ m; "1"; n; occ_rate; sa_rate; sentinel_row ] when m = magic -> (
-        try
-          ( int_of_string n,
-            int_of_string occ_rate,
-            int_of_string sa_rate,
-            int_of_string sentinel_row )
-        with Failure _ ->
-          close_in ic;
-          failwith (path ^ ": corrupt index header"))
-    | _ ->
-        close_in ic;
-        failwith (path ^ ": not a kmm FM-index file")
-  in
-  (* A forged or bit-flipped header must fail with the same friendly
-     message as an unparsable one — never leak a raw [Invalid_argument]
-     from [Bytes.create (n + 1)] below. *)
-  if n < 0 || occ_rate <= 0 || sa_rate <= 0 || sentinel_row < 0
-     || sentinel_row > n
-  then begin
+let corrupt path what = failwith (path ^ ": " ^ what)
+
+let read_section ic path what len =
+  try really_input_string ic len
+  with End_of_file | Invalid_argument _ ->
     close_in ic;
-    failwith (path ^ ": corrupt index header")
-  end;
-  let payload =
-    try really_input_string ic ((n + 3) / 4)
-    with End_of_file ->
-      close_in ic;
-      failwith (path ^ ": truncated index payload")
-  in
+    corrupt path ("truncated index " ^ what)
+
+let finish_load ic path =
   (* The payload is the last thing in the file; trailing bytes mean the
      file was corrupted (or is not what the header claims). *)
   (match input_char ic with
   | _ ->
       close_in ic;
-      failwith (path ^ ": trailing garbage after index payload")
+      corrupt path "trailing garbage after index payload"
   | exception End_of_file -> ());
-  close_in ic;
-  let l = Bytes.create (n + 1) in
-  for i = 0 to n - 1 do
-    let code = (Char.code payload.[i / 4] lsr (i mod 4 * 2)) land 3 in
-    let row = if i < sentinel_row then i else i + 1 in
-    Bytes.set l row (Dna.Alphabet.of_code (code + 1))
-  done;
-  Bytes.set l sentinel_row Dna.Alphabet.sentinel;
-  let l = Bytes.unsafe_to_string l in
-  let text = Bwt.inverse l in
-  let occ = Occ.make ~rate:occ_rate l in
-  let counts = Array.make sigma 0 in
-  String.iter
-    (fun c -> counts.(Dna.Alphabet.code c) <- counts.(Dna.Alphabet.code c) + 1)
-    l;
-  let c_array = Array.make sigma 0 in
-  let sum = ref 0 in
-  for c = 0 to sigma - 1 do
-    c_array.(c) <- !sum;
-    sum := !sum + counts.(c)
-  done;
-  (* Rebuild the SA samples with one LF walk: starting from row 0 (the
-     row whose suffix is the bare sentinel, position n) and following LF
-     visits positions n, n-1, ..., 0 in order. *)
-  let samples = Hashtbl.create (1 + (n / sa_rate)) in
-  let lf row =
-    let c = Dna.Alphabet.code l.[row] in
-    c_array.(c) + Occ.rank occ c row
+  close_in ic
+
+(* --- v1 reader (reconstructing) -------------------------------------- *)
+
+let load_v1 ic path fields =
+  let n, occ_rate, sa_rate, sentinel_row =
+    match fields with
+    | [ n; occ_rate; sa_rate; sentinel_row ] -> (
+        try
+          (int_of_string n, int_of_string occ_rate, int_of_string sa_rate,
+           int_of_string sentinel_row)
+        with Failure _ ->
+          close_in ic;
+          corrupt path "corrupt index header")
+    | _ ->
+        close_in ic;
+        corrupt path "corrupt index header"
   in
+  (* A forged or bit-flipped header must fail with the same friendly
+     message as an unparsable one. *)
+  if n < 0 || occ_rate <= 0 || sa_rate <= 0 || sentinel_row < 0 || sentinel_row > n
+  then begin
+    close_in ic;
+    corrupt path "corrupt index header"
+  end;
+  let payload = read_section ic path "payload" ((n + 3) / 4) in
+  finish_load ic path;
+  let packed = Packed_text.of_bytes payload ~len:n in
+  let occ = Occ.of_packed ~rate:occ_rate ~sentinels:[| sentinel_row |] packed in
+  let c_array = c_array_of_counts (Occ.counts occ) in
+  (* Rebuild text and SA samples with one LF walk: starting from row 0
+     (the row whose suffix is the bare sentinel, position n) and
+     following LF visits positions n, n-1, ..., 0 in order. *)
+  let text_buf = Bytes.create n in
+  let pairs = ref [] in
+  let npairs = ref 0 in
   let row = ref 0 in
   for pos = n downto 0 do
-    if pos mod sa_rate = 0 || pos = n then Hashtbl.replace samples !row pos;
-    if pos > 0 then row := lf !row
+    if pos mod sa_rate = 0 || pos = n then begin
+      pairs := (!row, pos) :: !pairs;
+      incr npairs
+    end;
+    if pos > 0 then begin
+      let c, r = Occ.char_rank occ !row in
+      if c = 0 then begin
+        (* The sentinel can only ever be read at position 0. *)
+        corrupt path "corrupt index payload (broken LF cycle)"
+      end;
+      Bytes.set text_buf (pos - 1) (Dna.Alphabet.of_code c);
+      row := c_array.(c) + r
+    end
   done;
-  { text; l; occ; c_array; sa_rate; samples }
+  let sorted = List.sort (fun (r1, _) (r2, _) -> Int.compare r1 r2) !pairs in
+  let marks = Bytes.make ((n + 8) / 8) '\000' in
+  let samples = Array.make !npairs 0 in
+  List.iteri
+    (fun i (r, p) ->
+      mark_set marks r;
+      samples.(i) <- p)
+    sorted;
+  let mark_cum, total = build_mark_cum marks (n + 1) in
+  if total <> !npairs then corrupt path "corrupt index payload";
+  {
+    text = Bytes.unsafe_to_string text_buf;
+    occ;
+    c_array;
+    sa_rate;
+    sentinel_row;
+    marks;
+    mark_cum;
+    samples;
+  }
+
+(* --- v2 reader (adopting) -------------------------------------------- *)
+
+let load_v2 ic path fields =
+  let n, occ_rate, sa_rate, sentinel_row, nsamples, blocks_bytes, super_len =
+    match fields with
+    | [ n; occ_rate; sa_rate; sentinel_row; nsamples; blocks_bytes; super_len ] -> (
+        try
+          ( int_of_string n, int_of_string occ_rate, int_of_string sa_rate,
+            int_of_string sentinel_row, int_of_string nsamples,
+            int_of_string blocks_bytes, int_of_string super_len )
+        with Failure _ ->
+          close_in ic;
+          corrupt path "corrupt index header")
+    | _ ->
+        close_in ic;
+        corrupt path "corrupt index header"
+  in
+  if
+    n < 0 || occ_rate <= 0 || sa_rate <= 0 || sentinel_row < 0 || sentinel_row > n
+    || nsamples < 1 || nsamples > n + 1 || blocks_bytes < 0 || super_len < 0
+  then begin
+    close_in ic;
+    corrupt path "corrupt index header"
+  end;
+  let text_payload = read_section ic path "text section" ((n + 3) / 4) in
+  let blocks = Bytes.of_string (read_section ic path "rank blocks" blocks_bytes) in
+  let super = ints_of_string (read_section ic path "superblocks" (8 * super_len)) in
+  let marks = Bytes.of_string (read_section ic path "sa marks" ((n + 8) / 8)) in
+  let samples = ints_of_string (read_section ic path "sa samples" (8 * nsamples)) in
+  finish_load ic path;
+  let text =
+    try Packed_text.to_string (Packed_text.of_bytes text_payload ~len:n)
+    with Invalid_argument _ -> corrupt path "corrupt text section"
+  in
+  let occ =
+    try Occ.of_raw ~rate:occ_rate ~len:(n + 1) ~sentinels:[| sentinel_row |] ~blocks ~super
+    with Invalid_argument _ -> corrupt path "corrupt rank blocks"
+  in
+  (* Structural validation: the text section and the rank structure must
+     agree on per-character totals (an O(n) byte scan, no reconstruction). *)
+  let counts = Occ.counts occ in
+  let text_counts = Array.make sigma 0 in
+  String.iter
+    (fun c ->
+      let k = Dna.Alphabet.code c in
+      text_counts.(k) <- text_counts.(k) + 1)
+    text;
+  for c = 1 to sigma - 1 do
+    if text_counts.(c) <> counts.(c) then
+      corrupt path "text and BWT sections disagree"
+  done;
+  (* Clear mark padding bits beyond row n, then check sampling shape. *)
+  (let rows = n + 1 in
+   if rows land 7 <> 0 then begin
+     let last = Bytes.length marks - 1 in
+     Bytes.set marks last
+       (Char.chr (Char.code (Bytes.get marks last) land ((1 lsl (rows land 7)) - 1)))
+   end);
+  let mark_cum, total = build_mark_cum marks (n + 1) in
+  if total <> nsamples then corrupt path "sa marks / sample count mismatch";
+  if not (mark_test marks 0) then corrupt path "corrupt sa marks (row 0 unmarked)";
+  if samples.(0) <> n then corrupt path "corrupt sa samples (row 0)";
+  Array.iter (fun p -> if p < 0 || p > n then corrupt path "sa sample out of range") samples;
+  { text; occ; c_array = c_array_of_counts counts; sa_rate; sentinel_row; marks; mark_cum; samples }
+
+let load path =
+  let ic = open_in_bin path in
+  let header = try input_line ic with End_of_file -> "" in
+  match String.split_on_char ' ' header with
+  | m :: "1" :: fields when m = magic -> load_v1 ic path fields
+  | m :: "2" :: fields when m = magic -> load_v2 ic path fields
+  | _ ->
+      close_in ic;
+      failwith (path ^ ": not a kmm FM-index file")

@@ -12,8 +12,9 @@ type interval = int * int
 
 val build : ?occ_rate:int -> ?sa_rate:int -> string -> t
 (** Index the DNA text [s] (lowercase [acgt]; the sentinel is appended
-    internally).  [occ_rate] is the rank checkpoint spacing (default 16);
-    [sa_rate] the suffix-array sampling rate for {!locate} (default 16). *)
+    internally).  [occ_rate] is the rank checkpoint spacing (default 32,
+    quantized by {!Occ} to a power of two); [sa_rate] the suffix-array
+    sampling rate for {!locate} (default 16). *)
 
 val length : t -> int
 (** Length of the indexed text (sentinel excluded). *)
@@ -33,20 +34,33 @@ val interval_of_char : t -> int -> interval option
 (** Rows whose first character is the given code — the paper's [F_x]. *)
 
 val search : t -> string -> interval option
-(** Backward search of a pattern; [None] when absent. *)
+(** Backward search of a pattern; [None] when absent.  Patterns are case
+    folded ([ACGT] matches [acgt]); a pattern containing any character
+    outside ACGT occurs nowhere and yields [None] rather than raising. *)
 
 val count : t -> string -> int
-(** Number of occurrences of a pattern in the text. *)
+(** Number of occurrences of a pattern in the text.  Same pattern
+    normalization as {!search}: invalid patterns count 0. *)
 
 val locate : t -> interval -> int list
 (** Sorted 0-based starting positions of the suffixes in the interval.
     Rows are resolved through the sampled suffix array by LF-walking. *)
 
+val locate_into : t -> interval -> int array -> unit
+(** [locate_into t (lo, hi) dst] writes the position of row [lo + i] into
+    [dst.(i)] for [i < hi - lo], unsorted and without allocating — the
+    batched primitive under {!locate}.  Raises [Invalid_argument] if the
+    interval is out of range or [dst] is shorter than [hi - lo]. *)
+
 val find_all : t -> string -> int list
-(** [search] then [locate]; sorted positions of the pattern. *)
+(** [search] then [locate]; sorted positions of the pattern.  Invalid
+    patterns (outside ACGT after case folding) yield []. *)
 
 val space_report : t -> (string * int) list
-(** Named byte-size estimates of the index components. *)
+(** Named byte sizes of the index components, one entry per owned buffer
+    (packed rank blocks, SA mark bitvector + rank directory, SA samples,
+    C array, and the retained text copy); entries sum to the index's
+    heap footprint, with no component counted twice. *)
 
 val extend_all : t -> interval -> los:int array -> his:int array -> unit
 (** One-pass variant of {!extend} for every character code at once:
@@ -56,10 +70,15 @@ val extend_all : t -> interval -> los:int array -> his:int array -> unit
     instead of eight. *)
 
 val save : t -> string -> unit
-(** Persist the index to a file.  The format stores the 2-bit-packed BWT
-    (plus the sentinel position and the checkpoint/sampling rates); the
-    derived structures are rebuilt on load, so the file costs ~n/4 bytes. *)
+(** Persist the index to a file in format v2: an ASCII header followed by
+    the 2-bit packed text, the interleaved rank blocks, the superblock
+    counters, and the SA mark bitvector and samples — the index's own
+    buffers, written verbatim. *)
 
 val load : string -> t
-(** Reload an index written by {!save}.  Raises [Failure] on a file that
-    is not a valid index. *)
+(** Reload an index written by {!save}.  A v2 file is adopted directly
+    (read plus structural validation; no BWT inversion, rank recount or
+    LF reconstruction); v1 files from earlier releases are still read via
+    the original rebuild path.  Raises [Failure] on a file that is not a
+    valid index (wrong magic, truncated or inconsistent sections,
+    trailing garbage). *)

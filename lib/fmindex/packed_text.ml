@@ -1,0 +1,72 @@
+(* 2-bit packed DNA text.  Lane i lives in byte (i lsr 2) at bit offset
+   (i land 3) * 2, LSB first — the byte layout shared by the in-memory
+   rank blocks and the on-disk payload of both index formats. *)
+
+type t = { data : Bytes.t; len : int }
+
+let empty = { data = Bytes.empty; len = 0 }
+let length t = t.len
+let nbytes len = (len + 3) / 4
+
+let unsafe_get t i =
+  Char.code (Bytes.unsafe_get t.data (i lsr 2)) lsr ((i land 3) * 2) land 3
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Packed_text.get: index out of range";
+  unsafe_get t i
+
+let init n f =
+  if n < 0 then invalid_arg "Packed_text.init: negative length";
+  let data = Bytes.make (nbytes n) '\000' in
+  for i = 0 to n - 1 do
+    let d = f i in
+    if d < 0 || d > 3 then invalid_arg "Packed_text.init: lane code out of range";
+    let b = i lsr 2 in
+    Bytes.unsafe_set data b
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get data b) lor (d lsl ((i land 3) * 2))))
+  done;
+  { data; len = n }
+
+let code_of_base c =
+  match c with
+  | 'a' | 'A' -> Some 0
+  | 'c' | 'C' -> Some 1
+  | 'g' | 'G' -> Some 2
+  | 't' | 'T' -> Some 3
+  | _ -> None
+
+let base_of_code d =
+  match d with
+  | 0 -> 'a'
+  | 1 -> 'c'
+  | 2 -> 'g'
+  | 3 -> 't'
+  | _ -> invalid_arg "Packed_text.base_of_code: lane code out of range"
+
+let of_string s =
+  init (String.length s) (fun i ->
+      match s.[i] with
+      | 'a' -> 0
+      | 'c' -> 1
+      | 'g' -> 2
+      | 't' -> 3
+      | c ->
+          invalid_arg
+            (Printf.sprintf "Packed_text.of_string: %C is not a lowercase base" c))
+
+let to_string t = String.init t.len (fun i -> base_of_code (unsafe_get t i))
+
+let bytes t = t.data
+
+let of_bytes payload ~len =
+  if len < 0 then invalid_arg "Packed_text.of_bytes: negative length";
+  if String.length payload <> nbytes len then
+    invalid_arg "Packed_text.of_bytes: payload size does not match length";
+  let data = Bytes.of_string payload in
+  (* Clear padding lanes of the last byte so byte-parallel counts stay
+     exact even on dirty input. *)
+  (if len land 3 <> 0 then
+     let last = Bytes.length data - 1 in
+     let keep = (1 lsl ((len land 3) * 2)) - 1 in
+     Bytes.set data last (Char.chr (Char.code (Bytes.get data last) land keep)));
+  { data; len }

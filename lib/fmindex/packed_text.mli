@@ -1,0 +1,56 @@
+(** 2-bit packed DNA text: the shared payload representation of the
+    FM-index core.
+
+    A {!t} stores a sequence of {e lane codes} 0..3 (['a'] = 0, ['c'] = 1,
+    ['g'] = 2, ['t'] = 3 — i.e. {!Dna.Alphabet} codes shifted down by one,
+    with the sentinel excluded) at four lanes per byte: lane [i] lives in
+    byte [i / 4] at bit offset [(i mod 4) * 2], least significant bits
+    first.  This is exactly the byte layout of the on-disk index payload
+    (both format v1 and v2), so persistence is a [Bytes] copy, and it is
+    the layout {!Occ} interleaves with its rank checkpoints.
+
+    Unused lanes in the final byte are always zero — builders guarantee
+    it and {!of_bytes} enforces it — so word/byte-parallel population
+    counts over whole bytes never see garbage lanes. *)
+
+type t
+
+val empty : t
+
+val length : t -> int
+(** Number of lanes (bases). *)
+
+val get : t -> int -> int
+(** [get t i] is the lane code (0..3) at position [i].
+    Raises [Invalid_argument] when out of range. *)
+
+val unsafe_get : t -> int -> int
+(** {!get} without the bounds check. *)
+
+val init : int -> (int -> int) -> t
+(** [init n f] packs lane codes [f 0 .. f (n-1)]; each must be in 0..3
+    (raises [Invalid_argument] otherwise). *)
+
+val of_string : string -> t
+(** Pack a lowercase [acgt] string.  Raises [Invalid_argument] on any
+    other character (including the sentinel and uppercase). *)
+
+val to_string : t -> string
+(** Unpack back to a lowercase [acgt] string. *)
+
+val bytes : t -> Bytes.t
+(** The underlying packed buffer, [ceil (length / 4)] bytes.  Shared,
+    not copied: treat as read-only. *)
+
+val of_bytes : string -> len:int -> t
+(** [of_bytes payload ~len] adopts a packed payload (as produced by
+    {!bytes} or read from an index file) holding [len] lanes.  Raises
+    [Invalid_argument] if [payload] is not exactly [ceil (len / 4)]
+    bytes.  Trailing lanes of the final byte are cleared, so a file
+    whose padding bits are dirty still yields a canonical value. *)
+
+val base_of_code : int -> char
+(** [base_of_code d] is the base character of lane code [d] (0..3). *)
+
+val code_of_base : char -> int option
+(** Lane code of a base character; [None] for non-ACGT (case folded). *)

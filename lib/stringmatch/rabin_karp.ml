@@ -84,6 +84,10 @@ let find_all_multi ~patterns ~text =
         h := add_mod (mul_mod !h base) (hash_char text.[i + m - 1]);
         emit i !h
       done;
-      List.sort compare !acc
+      List.sort
+        (fun (p1, h1) (p2, h2) ->
+          let c = Int.compare p1 p2 in
+          if c <> 0 then c else Int.compare h1 h2)
+        !acc
     end
   end

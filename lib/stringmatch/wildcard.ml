@@ -52,5 +52,5 @@ let find_all_single_gap ?(wildcard = 'n') ~pattern ~text () =
                 if starts_ok i then Some i else None)
               (Kmp.find_all ~pattern:right ~text)
         in
-        List.sort_uniq compare candidates
+        List.sort_uniq Int.compare candidates
   end

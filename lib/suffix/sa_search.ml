@@ -56,4 +56,4 @@ let find_all t pat =
   match range t pat with
   | None -> []
   | Some (lo, hi) ->
-      List.sort compare (List.init (hi - lo) (fun i -> t.sa.(lo + i)))
+      List.sort Int.compare (List.init (hi - lo) (fun i -> t.sa.(lo + i)))

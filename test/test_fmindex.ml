@@ -61,7 +61,78 @@ let test_occ_matches_naive () =
             (naive_rank l c i) (Occ.rank occ c i)
         done
       done)
-    [ 1; 3; 64; 1000 ]
+    [ 1; 3; 16; 64; 128; 1000 ]
+
+let test_occ_word_boundaries () =
+  (* Indices straddling 2-bit lane words, block edges and the 65536-lane
+     superblock edge, on a text long enough to have two superblocks. *)
+  let st = Random.State.make [| 29 |] in
+  let s = Test_util.random_dna st 66_000 in
+  let l = Bwt.of_text s in
+  let occ = Occ.make ~rate:32 l in
+  let len = String.length l in
+  let probes =
+    List.concat_map
+      (fun base -> [ base - 1; base; base + 1 ])
+      [ 1; 31; 32; 64; 4096; 65504; 65536; 65568; len - 31; len ]
+  in
+  List.iter
+    (fun i ->
+      if i >= 0 && i <= len then
+        for c = 0 to Dna.Alphabet.sigma - 1 do
+          check int
+            (Printf.sprintf "boundary rank c=%d i=%d" c i)
+            (naive_rank l c i) (Occ.rank occ c i)
+        done)
+    probes
+
+let prop_occ_matches_reference =
+  (* The packed kernel against the seed's byte-scan implementation, kept
+     as [Occ.Reference]: every rank at every index must agree. *)
+  Test_util.qtest ~count:60 "packed rank = Reference rank"
+    QCheck2.Gen.(pair (Test_util.dna_gen ~lo:1 ~hi:260 ()) (int_range 1 80))
+    (fun (s, rate) ->
+      let l = Bwt.of_text s in
+      let packed = Occ.make ~rate l in
+      let reference = Occ.Reference.make ~rate l in
+      let ok = ref true in
+      for i = 0 to String.length l do
+        for c = 0 to Dna.Alphabet.sigma - 1 do
+          if Occ.rank packed c i <> Occ.Reference.rank reference c i then ok := false
+        done
+      done;
+      !ok)
+
+let test_occ_rank_all_pair () =
+  let st = Random.State.make [| 31 |] in
+  let s = Test_util.random_dna st 700 in
+  let l = Bwt.of_text s in
+  let occ = Occ.make ~rate:64 l in
+  let len = String.length l in
+  let sigma = Dna.Alphabet.sigma in
+  let los = Array.make sigma 0 and his = Array.make sigma 0 in
+  for _ = 1 to 500 do
+    let lo = Random.State.int st (len + 1) in
+    let hi = lo + Random.State.int st (len + 1 - lo) in
+    Occ.rank_all_pair occ lo hi los his;
+    for c = 0 to sigma - 1 do
+      check int (Printf.sprintf "pair lo c=%d lo=%d" c lo) (Occ.rank occ c lo) los.(c);
+      check int (Printf.sprintf "pair hi c=%d hi=%d" c hi) (Occ.rank occ c hi) his.(c)
+    done
+  done
+
+let test_occ_get_char_rank () =
+  let st = Random.State.make [| 37 |] in
+  let s = Test_util.random_dna st 400 in
+  let l = Bwt.of_text s in
+  let occ = Occ.make ~rate:32 l in
+  for row = 0 to String.length l - 1 do
+    let expected = Dna.Alphabet.code l.[row] in
+    check int (Printf.sprintf "get row=%d" row) expected (Occ.get occ row);
+    let c, r = Occ.char_rank occ row in
+    check int (Printf.sprintf "char_rank code row=%d" row) expected c;
+    check int (Printf.sprintf "char_rank rank row=%d" row) (naive_rank l c row) r
+  done
 
 let test_occ_validation () =
   let l = Bwt.of_text "acgt" in
@@ -148,14 +219,62 @@ let test_fm_occ_rates_agree () =
     (Fm_index.find_all b pattern)
 
 let test_fm_space_report () =
-  let fm = Fm_index.build (Test_util.random_dna (Random.State.make [| 1 |]) 1000) in
+  let n = 1000 in
+  let fm = Fm_index.build (Test_util.random_dna (Random.State.make [| 1 |]) n) in
   let report = Fm_index.space_report fm in
-  check bool "has bwt entry" true (List.mem_assoc "bwt (1 byte/char)" report);
   List.iter (fun (_, v) -> check bool "positive" true (v > 0)) report;
-  (* The rank structure's accounting must cover its per-position codes
-     byte table (n+1 bytes incl. sentinel), not just the checkpoints. *)
-  check bool "rank entry counts the codes table" true
-    (List.assoc "rank checkpoints" report >= 1001)
+  (* Exact accounting of the packed layout, from first principles.  At
+     occ_rate 32 the 1000 payload bases (sentinel held out-of-band) pack
+     into ceil(1000/32) = 32 interleaved blocks of 8 count bytes +
+     32/4 payload bytes; one superblock of 4 counters, 1 sentinel row and
+     sigma totals round out the rank structure. *)
+  let occ_bytes = (32 * (8 + (32 / 4))) + (8 * (4 + 1 + 5)) in
+  check int "packed rank structure" occ_bytes (List.assoc "packed bwt + rank blocks" report);
+  (* Mark bitvector: one bit per BWT row, plus a rank-directory entry per
+     64-row chunk. *)
+  let marks_bytes = ((n + 8) / 8) + (8 * ((n + 1 + 63) / 64)) in
+  check int "sa marks" marks_bytes (List.assoc "sa marks (bitvector + rank dir)" report);
+  (* Samples: text positions divisible by 16 (63 of them) plus row 0. *)
+  check int "sa samples" (8 * 64) (List.assoc "sa samples" report);
+  check int "c array" (8 * Dna.Alphabet.sigma) (List.assoc "c array" report);
+  check int "text" n (List.assoc "text (1 byte/char)" report);
+  (* The packed index beats the seed's byte-per-char BWT + codes table by
+     construction: the whole rank structure fits in well under n bytes. *)
+  check bool "rank structure under 1 byte/base" true (occ_bytes < n);
+  (* No double counting: the report's sum is exactly the component sum. *)
+  let total = List.fold_left (fun acc (_, v) -> acc + v) 0 report in
+  check int "entries sum" (occ_bytes + marks_bytes + (8 * 64) + 40 + n) total
+
+let test_fm_pattern_validation () =
+  (* Satellite: searching uppercase or non-ACGT patterns must not raise.
+     Case folds to the lowercase alphabet; anything else simply does not
+     occur in an acgt text. *)
+  let fm = Fm_index.build "acagaca" in
+  check int "uppercase folds" 2 (Fm_index.count fm "ACA");
+  check int_list "uppercase find_all" [ 0; 4 ] (Fm_index.find_all fm "AcA");
+  check int "n never matches" 0 (Fm_index.count fm "acn");
+  check int "sentinel char" 0 (Fm_index.count fm "$");
+  check bool "search invalid is None" true (Fm_index.search fm "ac!g" = None);
+  check int_list "find_all invalid" [] (Fm_index.find_all fm "nnn");
+  check int_list "find_all space" [] (Fm_index.find_all fm "a a")
+
+let test_fm_locate_into () =
+  let st = Random.State.make [| 43 |] in
+  let text = Test_util.random_dna st 300 in
+  let fm = Fm_index.build ~sa_rate:8 text in
+  (match Fm_index.search fm (String.sub text 50 3) with
+  | None -> Alcotest.fail "substring not found"
+  | Some (lo, hi) ->
+      let buf = Array.make (hi - lo) (-1) in
+      Fm_index.locate_into fm (lo, hi) buf;
+      Array.sort Int.compare buf;
+      check int_list "locate_into = locate" (Fm_index.locate fm (lo, hi)) (Array.to_list buf));
+  (match Fm_index.locate_into fm (0, 2) [| 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short buffer accepted");
+  match Fm_index.locate_into fm (-1, 2) (Array.make 4 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad interval accepted"
 
 let () =
   Alcotest.run "fmindex"
@@ -172,7 +291,11 @@ let () =
       ( "occ",
         [
           Alcotest.test_case "matches naive at all rates" `Quick test_occ_matches_naive;
+          Alcotest.test_case "word and superblock boundaries" `Quick test_occ_word_boundaries;
+          Alcotest.test_case "rank_all_pair = two ranks" `Quick test_occ_rank_all_pair;
+          Alcotest.test_case "get / char_rank" `Quick test_occ_get_char_rank;
           Alcotest.test_case "validation" `Quick test_occ_validation;
+          prop_occ_matches_reference;
         ] );
       ( "fm_index",
         [
@@ -185,6 +308,10 @@ let () =
           Alcotest.test_case "empty text" `Quick test_fm_empty_text;
           Alcotest.test_case "occ rates agree" `Quick test_fm_occ_rates_agree;
           Alcotest.test_case "space report" `Quick test_fm_space_report;
+          Alcotest.test_case "pattern validation" `Quick test_fm_pattern_validation;
+          Alcotest.test_case "locate_into" `Quick test_fm_locate_into;
+          Alcotest.test_case "bench parity smoke (packed vs seed model)" `Quick (fun () ->
+              Rank_locate.parity_smoke ());
           prop_fm_equals_naive;
           prop_fm_sampling_rates;
         ] );
