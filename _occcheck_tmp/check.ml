@@ -1,0 +1,29 @@
+let () =
+  let n = 60_000 in
+  let text = String.make n 't' in
+  let l = Fmindex.Bwt.of_text text in
+  let occ = Fmindex.Occ.make ~rate:65536 l in
+  (* naive rank of 't' (code 4) at i *)
+  let naive c i =
+    let acc = ref 0 in
+    for j = 0 to i - 1 do
+      if Dna.Alphabet.code l.[j] = c then incr acc
+    done;
+    !acc
+  in
+  let bad = ref 0 in
+  List.iter (fun i ->
+    if i <= String.length l then begin
+      let got = Fmindex.Occ.rank occ 4 i in
+      let want = naive 4 i in
+      if got <> want then begin
+        incr bad;
+        if !bad <= 5 then Printf.printf "MISMATCH i=%d want=%d got=%d\n" i want got
+      end
+    end)
+    [ 100; 32767; 32768; 32769; 33000; 40000; 50000; 60000; String.length l ];
+  (* totals check via counts *)
+  let counts = Fmindex.Occ.counts occ in
+  Printf.printf "counts: %s (expect t=%d)\n"
+    (String.concat "," (Array.to_list (Array.map string_of_int counts))) n;
+  if !bad = 0 then print_endline "ALL-OK" else Printf.printf "BAD=%d\n" !bad
