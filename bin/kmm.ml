@@ -3,6 +3,8 @@
    Subcommands:
      generate   synthesize a genome (FASTA)
      simulate   sample wgsim-style reads from a genome (FASTA)
+     index      build and save an FM-index of a genome
+     verify     check an index file's integrity (typed exit codes)
      search     find a pattern in a genome with at most k mismatches
      map        map a read file against a genome
      fuzz       differential-fuzz all engines against the naive oracle
@@ -10,15 +12,28 @@
 
 open Cmdliner
 
+(* Typed failures carry their own process exit code (see
+   [Kmm_error.exit_code]), so scripts can distinguish a corrupt index
+   (6) from a truncated one (5) or a malformed FASTA file (2). *)
+let fail_typed ?path e =
+  Format.eprintf "kmm: %s%s@."
+    (match path with None -> "" | Some p -> p ^ ": ")
+    (Kmm_error.to_string e);
+  exit (Kmm_error.exit_code e)
+
 let read_genome path =
-  match Dna.Fasta.read_file path with
-  | [] -> failwith (path ^ ": no FASTA records")
-  | r :: _ -> r.Dna.Fasta.seq
+  match Dna.Fasta.try_read_file path with
+  | Error e -> fail_typed ~path e
+  | Ok [] -> fail_typed ~path (Kmm_error.Bad_input "no FASTA records")
+  | Ok (r :: _) -> r.Dna.Fasta.seq
 
 (* Either a FASTA genome (indexed on the fly) or a prebuilt .fmi index. *)
 let obtain_index ~genome ~index_file =
   match (genome, index_file) with
-  | _, Some path -> Core.Kmismatch.load_index path
+  | _, Some path -> (
+      match Core.Kmismatch.try_load_index path with
+      | Ok idx -> idx
+      | Error e -> fail_typed ~path e)
   | Some path, None -> Core.Kmismatch.of_sequence (read_genome path)
   | None, None -> failwith "one of --genome or --index is required"
 
@@ -160,7 +175,11 @@ let map_cmd =
   let run genome index_file reads k engine both_strands best jobs =
     if jobs < 1 then failwith "--jobs must be >= 1";
     let idx = obtain_index ~genome ~index_file in
-    let records = Dna.Fasta.read_file reads in
+    let records =
+      match Dna.Fasta.try_read_file reads with
+      | Ok rs -> rs
+      | Error e -> fail_typed ~path:reads e
+    in
     let inputs =
       List.mapi (fun i r -> (i, Dna.Sequence.to_string r.Dna.Fasta.seq)) records
     in
@@ -170,11 +189,19 @@ let map_cmd =
     let hits = if best then Core.Mapper.best_hits hits else hits in
     print_string (Core.Mapper.to_tsv hits);
     Format.eprintf
-      "mapped %d/%d reads (%d unique, %d ambiguous; k=%d, engine=%s, jobs=%d)@."
+      "mapped %d/%d reads (%d unique, %d ambiguous, %d skipped; k=%d, engine=%s, \
+       jobs=%d)@."
       summary.Core.Mapper.mapped summary.Core.Mapper.total summary.Core.Mapper.unique
-      summary.Core.Mapper.ambiguous k
+      summary.Core.Mapper.ambiguous
+      (List.length summary.Core.Mapper.skipped)
+      k
       (Core.Kmismatch.engine_name engine)
       jobs;
+    (* Fail-soft: bad reads are reported, not fatal. *)
+    List.iter
+      (fun (id, e) ->
+        Format.eprintf "skipped read %d: %s@." id (Kmm_error.to_string e))
+      summary.Core.Mapper.skipped;
     `Ok ()
   in
   let reads =
@@ -220,6 +247,39 @@ let index_cmd =
   Cmd.v
     (Cmd.info "index" ~doc:"Build and save an FM-index of a genome")
     Term.(ret (const run $ genome $ out))
+
+(* --- verify --------------------------------------------------------- *)
+
+let verify_cmd =
+  let run index_file quiet =
+    match Fmindex.Fm_index.try_load index_file with
+    | Error e -> fail_typed ~path:index_file e
+    | Ok fm ->
+        if not quiet then begin
+          Printf.printf "%s: ok (%d bp)\n" index_file (Fmindex.Fm_index.length fm);
+          List.iter
+            (fun (what, bytes) -> Printf.printf "  %-22s %d bytes\n" what bytes)
+            (Fmindex.Fm_index.space_report fm)
+        end;
+        `Ok ()
+  in
+  let index_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FMI" ~doc:"Index file.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Exit code only.") in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check an index file's integrity"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Loads the index, checking magic, version, header sanity, per-section \
+              CRC-32 checksums and the whole-file trailer (format v3; v1/v2 files \
+              are structurally validated).  Prints a space report on success.  The \
+              exit code distinguishes the failure: 0 ok, 3 not an index file, 4 \
+              unsupported version, 5 truncated, 6 corrupt, 7 I/O error.";
+         ])
+    Term.(ret (const run $ index_file $ quiet))
 
 (* --- fuzz ----------------------------------------------------------- *)
 
@@ -385,6 +445,7 @@ let () =
             generate_cmd;
             simulate_cmd;
             index_cmd;
+            verify_cmd;
             search_cmd;
             map_cmd;
             fuzz_cmd;

@@ -1,0 +1,116 @@
+exception Injected of string
+
+type plan =
+  | Enospc_after of int
+  | Crash_after of int
+  | Short_write of int
+  | Bit_flip of { offset : int; bit : int }
+  | Truncate_at of int
+
+let plan_to_string = function
+  | Enospc_after n -> Printf.sprintf "enospc-after-%d" n
+  | Crash_after n -> Printf.sprintf "crash-after-%d" n
+  | Short_write n -> Printf.sprintf "short-write-at-%d" n
+  | Bit_flip { offset; bit } -> Printf.sprintf "bit-flip-%d.%d" offset bit
+  | Truncate_at n -> Printf.sprintf "truncate-at-%d" n
+
+let flip_byte s ~offset ~bit =
+  let b = Bytes.of_string s in
+  Bytes.set b offset (Char.chr (Char.code (Bytes.get b offset) lxor (1 lsl bit)));
+  Bytes.unsafe_to_string b
+
+(* Split [chunk] around the absolute stream boundary [limit], given that
+   [written] bytes went before it: the part that still fits, and whether
+   the chunk crosses the boundary. *)
+let prefix_upto ~written ~limit chunk =
+  if written >= limit then ("", String.length chunk > 0)
+  else if written + String.length chunk <= limit then (chunk, false)
+  else (String.sub chunk 0 (limit - written), true)
+
+let wrap plan (base : Fmindex.Fm_index.sink) : Fmindex.Fm_index.sink =
+  let written = ref 0 in
+  let lost = ref false in
+  let write_counted s =
+    base.Fmindex.Fm_index.sink_write s;
+    written := !written + String.length s
+  in
+  match plan with
+  | Enospc_after limit ->
+      {
+        sink_write =
+          (fun chunk ->
+            let keep, overflow = prefix_upto ~written:!written ~limit chunk in
+            write_counted keep;
+            if overflow then raise (Injected "ENOSPC"));
+        sink_flush = base.sink_flush;
+      }
+  | Crash_after limit ->
+      {
+        sink_write =
+          (fun chunk ->
+            if !lost then raise (Injected "crash");
+            let keep, overflow = prefix_upto ~written:!written ~limit chunk in
+            write_counted keep;
+            if overflow then begin
+              lost := true;
+              raise (Injected "crash")
+            end);
+        sink_flush =
+          (fun () -> if !lost then raise (Injected "crash") else base.sink_flush ());
+      }
+  | Short_write limit ->
+      {
+        sink_write =
+          (fun chunk ->
+            let keep, overflow = prefix_upto ~written:!written ~limit chunk in
+            write_counted keep;
+            if overflow then lost := true);
+        sink_flush =
+          (fun () ->
+            base.sink_flush ();
+            if !lost then raise (Injected "short write"));
+      }
+  | Bit_flip { offset; bit } ->
+      {
+        sink_write =
+          (fun chunk ->
+            let start = !written in
+            let chunk =
+              if offset >= start && offset < start + String.length chunk then
+                flip_byte chunk ~offset:(offset - start) ~bit
+              else chunk
+            in
+            write_counted chunk);
+        sink_flush = base.sink_flush;
+      }
+  | Truncate_at limit ->
+      {
+        sink_write =
+          (fun chunk ->
+            let keep, _ = prefix_upto ~written:!written ~limit chunk in
+            base.Fmindex.Fm_index.sink_write keep;
+            (* count the bytes the writer believes it wrote *)
+            written := !written + String.length chunk);
+        sink_flush = base.sink_flush;
+      }
+
+let corrupt_string plan s =
+  let len = String.length s in
+  match plan with
+  | Bit_flip { offset; bit } ->
+      if len = 0 then s
+      else flip_byte s ~offset:(((offset mod len) + len) mod len) ~bit:(bit land 7)
+  | Enospc_after n | Crash_after n | Short_write n | Truncate_at n ->
+      String.sub s 0 (max 0 (min n len))
+
+let corrupt_file plan path =
+  let image =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (corrupt_string plan image))

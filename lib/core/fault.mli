@@ -1,0 +1,58 @@
+(** Injectable I/O faults — the test harness behind the crash-safety and
+    corruption-detection guarantees of index persistence.
+
+    Two ways to hurt a byte stream:
+
+    - {!wrap} interposes a fault {!plan} on the {!Fmindex.Fm_index.sink}
+      that [Fm_index.save ~wrap] streams through, so a save can be
+      interrupted mid-write exactly as a full disk, a dying process or a
+      lying controller would interrupt it;
+    - {!corrupt_string} / {!corrupt_file} apply the same plans to data at
+      rest, for load-path tests and the fuzz oracle.
+
+    Injected failures raise {!Injected}, never a real [Sys_error], so
+    tests can tell a simulated fault from an actual environment
+    problem. *)
+
+exception Injected of string
+(** Raised by fault-injecting sinks.  The payload names the fault
+    ("ENOSPC", "crash", "short write"). *)
+
+type plan =
+  | Enospc_after of int
+      (** The device accepts exactly [n] bytes; the write that would
+          exceed them stores its fitting prefix and raises — the
+          classic disk-full torn write. *)
+  | Crash_after of int
+      (** The process dies after [n] bytes reach the stream: the write
+          crossing the boundary stores its prefix, then every further
+          operation (including the flush barrier) raises. *)
+  | Short_write of int
+      (** Bytes past offset [n] are silently dropped, and the loss is
+          only reported at the flush/fsync barrier — the delayed-error
+          semantics real [fsync] has. *)
+  | Bit_flip of { offset : int; bit : int }
+      (** Silent in-flight corruption: bit [bit] of the byte at absolute
+          stream offset [offset] is inverted and everything "succeeds".
+          The damage must be caught at load time, not save time. *)
+  | Truncate_at of int
+      (** Silent tail loss at rest: every byte past [offset] vanishes.
+          (As a sink this behaves like {!Short_write} but never reports;
+          the resulting renamed file must be rejected at load.) *)
+
+val plan_to_string : plan -> string
+
+val wrap : plan -> Fmindex.Fm_index.sink -> Fmindex.Fm_index.sink
+(** [Fm_index.save ~wrap:(Fault.wrap plan) t path] saves through the
+    fault.  Each [wrap] application carries its own mutable byte
+    counter, so a plan value can be reused across saves. *)
+
+val corrupt_string : plan -> string -> string
+(** Apply a plan to an in-memory image: [Bit_flip] inverts one bit (the
+    offset is reduced modulo the length, so random fuzz offsets are
+    always in range); all other plans keep the prefix up to their
+    boundary. *)
+
+val corrupt_file : plan -> string -> unit
+(** Read a file, {!corrupt_string} it, write it back in place
+    (deliberately non-atomically — this {e is} the vandal). *)

@@ -66,10 +66,14 @@ let positions ?stats t ~engine ~pattern ~k =
 
 let save_index t path = Fmindex.Fm_index.save t.fm_rev path
 
-let load_index path =
-  let fm_rev = Fmindex.Fm_index.load path in
+let of_fm fm_rev =
   let text =
     Dna.Sequence.to_string
       (Dna.Sequence.rev (Dna.Sequence.of_string (Fmindex.Fm_index.text fm_rev)))
   in
   { text; fm_rev; tree = lazy (Suffix.Suffix_tree.build text) }
+
+let load_index path = of_fm (Fmindex.Fm_index.load path)
+
+let try_load_index path =
+  Result.map of_fm (Fmindex.Fm_index.try_load path)

@@ -61,3 +61,9 @@ val save_index : index -> string -> unit
 val load_index : string -> index
 (** Reload an index written by {!save_index}.  Raises [Failure] on
     invalid files. *)
+
+val try_load_index : string -> (index, Kmm_error.t) result
+(** {!load_index} with the failure reported as a typed error (see
+    {!Fmindex.Fm_index.try_load}): corruption, truncation, version and
+    I/O problems each get their own constructor instead of a [Failure]
+    message. *)

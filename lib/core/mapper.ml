@@ -5,9 +5,42 @@ type hit = {
   distance : int;
 }
 
-type summary = { total : int; mapped : int; unique : int; ambiguous : int }
+type summary = {
+  total : int;
+  mapped : int;
+  unique : int;
+  ambiguous : int;
+  skipped : (int * Kmm_error.t) list;
+}
 
 let default_chunk_size = 16
+
+(* Classify a read the engines cannot process, so one bad record degrades
+   to a [skipped] entry instead of an exception that aborts the batch.
+   The checks mirror the engines' preconditions: nonempty, ACGT-only
+   (case folded), and no longer than the reference. *)
+let validate_read ~text_len sequence =
+  let m = String.length sequence in
+  if m = 0 then Error (Kmm_error.Bad_input "empty read")
+  else begin
+    let bad = ref None in
+    String.iteri
+      (fun i c ->
+        if !bad = None && not (Dna.Alphabet.is_base c) then bad := Some (i, c))
+      sequence;
+    match !bad with
+    | Some (i, c) ->
+        Error
+          (Kmm_error.Bad_input
+             (Printf.sprintf "invalid base %C at offset %d" c i))
+    | None ->
+        if m > text_len then
+          Error
+            (Kmm_error.Bad_input
+               (Printf.sprintf "read of %d bp exceeds the %d bp reference" m
+                  text_len))
+        else Ok ()
+  end
 
 (* Map one read: all forward hits, then all reverse-complement hits, in
    the order the engine reports them.  Pure with respect to the index,
@@ -53,9 +86,15 @@ let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
     | None -> [||]
     | Some _ -> Array.init domains (fun _ -> Stats.create ())
   in
-  (* Slot [i] receives read [i]'s hits no matter which domain computed
-     them: the merge is deterministic by construction. *)
+  (* Slot [i] receives read [i]'s hits — or its skip reason — no matter
+     which domain computed them: the merge (and therefore the skipped
+     list) is deterministic by construction.  A fault in one read never
+     reaches the pool: it is caught here, recorded in the read's own
+     slot, and the rest of the batch proceeds — so the byte-identical
+     seq≡par guarantee holds for the surviving reads. *)
   let per_read = Array.make n [] in
+  let skip_slot = Array.make n None in
+  let text_len = Kmismatch.length index in
   Work_pool.with_pool ~domains (fun pool ->
       Work_pool.run pool ~tasks:(Array.length bounds) (fun ~worker ~task ->
           let stats =
@@ -63,29 +102,52 @@ let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
           in
           let start, len = bounds.(task) in
           for i = start to start + len - 1 do
-            per_read.(i) <-
-              map_one ?stats ~engine ~both_strands index ~k reads.(i)
+            let _, sequence = reads.(i) in
+            match validate_read ~text_len sequence with
+            | Error e -> skip_slot.(i) <- Some e
+            | Ok () -> (
+                match map_one ?stats ~engine ~both_strands index ~k reads.(i) with
+                | hits -> per_read.(i) <- hits
+                | exception e ->
+                    (* An engine exception on a validated read is a bug,
+                       but it still only costs this one read. *)
+                    skip_slot.(i) <-
+                      Some (Kmm_error.Internal (Printexc.to_string e)))
           done));
   (match stats with
   | None -> ()
   | Some dst -> Array.iter (fun s -> Stats.merge ~into:dst s) worker_stats);
   let mapped = ref 0 and unique = ref 0 and ambiguous = ref 0 in
-  Array.iter
-    (function
-      | [] -> ()
-      | [ _ ] ->
+  Array.iteri
+    (fun i hits ->
+      match (skip_slot.(i), hits) with
+      | Some _, _ | None, [] -> ()
+      | None, [ _ ] ->
           incr mapped;
           incr unique
-      | _ :: _ :: _ ->
+      | None, _ :: _ :: _ ->
           incr mapped;
           incr ambiguous)
     per_read;
+  let skipped = ref [] in
+  for i = n - 1 downto 0 do
+    match skip_slot.(i) with
+    | Some e -> skipped := (fst reads.(i), e) :: !skipped
+    | None -> ()
+  done;
   let hits =
     List.sort
       (fun a b -> compare (a.read_id, a.pos, a.strand) (b.read_id, b.pos, b.strand))
       (List.concat (Array.to_list per_read))
   in
-  (hits, { total = n; mapped = !mapped; unique = !unique; ambiguous = !ambiguous })
+  ( hits,
+    {
+      total = n;
+      mapped = !mapped;
+      unique = !unique;
+      ambiguous = !ambiguous;
+      skipped = !skipped;
+    } )
 
 let best_hits hits =
   let best = Hashtbl.create 64 in

@@ -15,6 +15,12 @@ type summary = {
   mapped : int;  (** reads with at least one hit *)
   unique : int;  (** reads with exactly one hit *)
   ambiguous : int;  (** reads with several hits *)
+  skipped : (int * Kmm_error.t) list;
+      (** reads the batch could not process — [(read id, reason)] in
+          batch order.  A fault in one read (non-ACGT base, empty or
+          oversize sequence, or an engine exception) lands here instead
+          of aborting the whole batch; the surviving reads' hits are
+          unaffected. *)
 }
 
 val default_chunk_size : int
@@ -47,6 +53,13 @@ val map_reads :
     path (no domain is spawned).  [stats] accumulates engine counters:
     each domain keeps its own {!Stats.t} and they are summed into
     [stats] at the end, yielding the same totals as a sequential run.
+
+    {b Fail-soft:} a read the engines cannot process is recorded in
+    [summary.skipped] with a typed reason and costs nothing but itself —
+    the batch never aborts, the per-read slots of the surviving reads
+    are byte-identical to a run without the bad read, and the skipped
+    list itself is deterministic across every [domains]/[chunk_size]
+    combination.
     @raise Invalid_argument if [domains < 1] or [chunk_size < 1]. *)
 
 val best_hits : hit list -> hit list

@@ -71,12 +71,13 @@ let fm_packed_find_all =
           Some (List.map (fun p -> (p, 0)) (Fmindex.Fm_index.find_all fm c.pattern)));
   }
 
-(* Format-v2 persistence under fuzz: the index is saved, reloaded and
-   queried through the fastest engine; any disagreement between the
-   adopted buffers and a freshly built index shows up as a divergence. *)
-let fm_v2_roundtrip =
+(* Persistence under fuzz: the index is saved (current format, v3),
+   reloaded and queried through the fastest engine; any disagreement
+   between the adopted buffers and a freshly built index shows up as a
+   divergence. *)
+let fm_save_roundtrip =
   {
-    sub_name = "fm-v2-roundtrip";
+    sub_name = "fm-save-roundtrip";
     run =
       (fun idx c ->
         let path = Filename.temp_file "kmm-fuzz" ".fmi" in
@@ -89,9 +90,59 @@ let fm_v2_roundtrip =
               (Kmismatch.search idx' ~engine:Kmismatch.M_tree ~pattern:c.pattern ~k:c.k)));
   }
 
+(* Format-v3 self-verification under fuzz: serialize a forward index of
+   the case's text, then hit the image with a pseudo-random battery of
+   fault plans (bit flips, truncations, ENOSPC-style prefixes).  Every
+   corrupted image must either be rejected by [try_of_string] with a
+   typed error, or — if a corruption happens to be a no-op — decode to
+   an index whose text and [find_all] answers are byte-identical to the
+   clean one.  A checksum blind spot therefore surfaces as an
+   [Engine_error] divergence with the offending plan in the message.
+   Runs on [k = 0] cases only (the hit list doubles as the reference
+   check); other budgets are skipped, not failed. *)
+let fm_v3_corruption =
+  {
+    sub_name = "fm-v3-corruption";
+    run =
+      (fun _ c ->
+        if c.k <> 0 then None
+        else begin
+          let fm = Fmindex.Fm_index.build c.text in
+          let image = Fmindex.Fm_index.serialize fm in
+          let clean_hits = Fmindex.Fm_index.find_all fm c.pattern in
+          let len = String.length image in
+          let rng = Random.State.make [| Hashtbl.hash (c.text, c.pattern); len |] in
+          let plans =
+            List.init 12 (fun i ->
+                match i mod 3 with
+                | 0 ->
+                    Fault.Bit_flip
+                      { offset = Random.State.int rng len; bit = Random.State.int rng 8 }
+                | 1 -> Fault.Truncate_at (Random.State.int rng len)
+                | _ -> Fault.Enospc_after (Random.State.int rng len))
+          in
+          List.iter
+            (fun plan ->
+              let corrupted = Fault.corrupt_string plan image in
+              match Fmindex.Fm_index.try_of_string corrupted with
+              | Error _ -> ()
+              | Ok fm' ->
+                  (* Only acceptable if the corruption was a no-op. *)
+                  if
+                    Fmindex.Fm_index.text fm' <> c.text
+                    || Fmindex.Fm_index.find_all fm' c.pattern <> clean_hits
+                  then
+                    failwith
+                      (Printf.sprintf "corruption %s accepted with wrong contents"
+                         (Fault.plan_to_string plan)))
+            plans;
+          Some (List.map (fun p -> (p, 0)) clean_hits)
+        end);
+  }
+
 let default_subjects () =
   List.map engine_subject Kmismatch.all_engines
-  @ [ kangaroo_direct; shift_add; fm_packed_find_all; fm_v2_roundtrip ]
+  @ [ kangaroo_direct; shift_add; fm_packed_find_all; fm_save_roundtrip; fm_v3_corruption ]
 
 (* ------------------------------------------------------------------ *)
 (* Checking                                                            *)

@@ -8,15 +8,27 @@
 
    On an exception the remaining tasks still run (keeping the
    [finished = total] completion invariant trivially true even with
-   tasks in flight on other domains); the first exception observed is
-   re-raised at the submitter once the job has fully drained. *)
+   tasks in flight on other domains); the first failure observed is
+   re-raised at the submitter as [Task_failed] — carrying the id of the
+   task that blew up — once the job has fully drained, so a raising task
+   can never deadlock the pool or orphan a domain. *)
+
+exception Task_failed of { task : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed { task; exn } ->
+        Some
+          (Printf.sprintf "Work_pool.Task_failed (task %d: %s)" task
+             (Printexc.to_string exn))
+    | _ -> None)
 
 type job = {
   body : worker:int -> task:int -> unit;
   total : int;
   mutable next : int;  (* next task id to hand out *)
   mutable finished : int;  (* task ids fully executed *)
-  mutable error : exn option;  (* first exception raised by a task *)
+  mutable error : (int * exn) option;  (* first failing task id + exception *)
 }
 
 type t = {
@@ -41,7 +53,7 @@ let drain_tasks t j ~worker =
     Mutex.unlock t.lock;
     let error = match j.body ~worker ~task with
       | () -> None
-      | exception e -> Some e
+      | exception e -> Some (task, e)
     in
     Mutex.lock t.lock;
     (match error with
@@ -90,11 +102,21 @@ let run t ~tasks body =
   if tasks < 0 then invalid_arg "Work_pool.run: negative task count";
   if t.stop then invalid_arg "Work_pool.run: pool is shut down";
   if tasks = 0 then ()
-  else if t.n = 1 then
-    (* Sequential special case: inline, in order, no locking. *)
+  else if t.n = 1 then begin
+    (* Sequential special case: inline, in order, no locking — but with
+       the same failure semantics as the parallel path: a raising task
+       does not stop the remaining tasks, and the first failure surfaces
+       as [Task_failed] with its task id once the job has drained. *)
+    let error = ref None in
     for task = 0 to tasks - 1 do
-      body ~worker:0 ~task
-    done
+      match body ~worker:0 ~task with
+      | () -> ()
+      | exception e -> if !error = None then error := Some (task, e)
+    done;
+    match !error with
+    | Some (task, exn) -> raise (Task_failed { task; exn })
+    | None -> ()
+  end
   else begin
     Mutex.lock t.lock;
     if t.job <> None then begin
@@ -111,7 +133,9 @@ let run t ~tasks body =
     done;
     t.job <- None;
     Mutex.unlock t.lock;
-    match j.error with Some e -> raise e | None -> ()
+    match j.error with
+    | Some (task, exn) -> raise (Task_failed { task; exn })
+    | None -> ()
   end
 
 let map_array t ~f a =

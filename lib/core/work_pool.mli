@@ -17,6 +17,13 @@
 
 type t
 
+exception Task_failed of { task : int; exn : exn }
+(** How a task failure reaches the submitter: the id of the first task
+    observed to raise, together with the exception it raised.  By the
+    time this is raised every task of the job has been executed (or
+    observed to fail) and no domain is left blocked on the job — a
+    raising task can neither deadlock the pool nor orphan a worker. *)
+
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], clamped to at least 1. *)
 
@@ -35,10 +42,14 @@ val run : t -> tasks:int -> (worker:int -> task:int -> unit) -> unit
     finished.  [worker] is a stable id in [0 .. domains t - 1] (0 is the
     calling domain), so callers can keep per-worker accumulators (e.g.
     one [Stats.t] per domain) without locking.  If any task raises, the
-    remaining tasks still run and the first exception is re-raised at
-    the caller.  With [domains t = 1] the tasks run inline, in order.
+    remaining tasks still run (so the job always drains and all domains
+    return to the idle queue) and the first failure is re-raised at the
+    caller as {!Task_failed}, carrying the offending task id.  With
+    [domains t = 1] the tasks run inline, in order, with the same
+    failure semantics.  The pool remains usable after a failed job.
     @raise Invalid_argument if called re-entrantly from a task, after
-    [shutdown], or with [tasks < 0]. *)
+    [shutdown], or with [tasks < 0].
+    @raise Task_failed if any task raised. *)
 
 val map_array : t -> f:('a -> 'b) -> 'a array -> 'b array
 (** [map_array t ~f a] applies [f] to every element of [a] on the pool;

@@ -51,10 +51,27 @@ let parse_string text =
 
 let read_file path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   parse_string text
+
+(* Typed-error channel: the same parsers, with failures reported as
+   [Kmm_error.t] values instead of exceptions ([Parse_error] maps to
+   [Bad_input], I/O failures to [Io]). *)
+
+let try_parse_string text =
+  match parse_string text with
+  | records -> Ok records
+  | exception Parse_error msg -> Error (Kmm_error.Bad_input msg)
+
+let try_read_file path =
+  match read_file path with
+  | records -> Ok records
+  | exception Parse_error msg -> Error (Kmm_error.Bad_input msg)
+  | exception (Sys_error _ as e) -> Error (Kmm_error.Io e)
 
 let to_string ?(width = 70) records =
   let buf = Buffer.create 1024 in
@@ -78,5 +95,6 @@ let to_string ?(width = 70) records =
 
 let write_file ?width path records =
   let oc = open_out_bin path in
-  output_string oc (to_string ?width records);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?width records))

@@ -23,6 +23,14 @@ val parse_string : string -> record list
 val read_file : string -> record list
 (** Parse a FASTA file from disk. *)
 
+val try_parse_string : string -> (record list, Kmm_error.t) result
+(** {!parse_string} with the failure reported as a typed error
+    ([Parse_error] becomes [Bad_input]) instead of an exception. *)
+
+val try_read_file : string -> (record list, Kmm_error.t) result
+(** {!read_file} with typed errors: [Parse_error] becomes [Bad_input],
+    [Sys_error] becomes [Io]. *)
+
 val to_string : ?width:int -> record list -> string
 (** Render records in FASTA format, wrapping sequence lines at [width]
     (default 70) characters. *)

@@ -1,0 +1,27 @@
+(* CRC-32/ISO-HDLC: reflected 0xEDB88320, init and xorout 0xFFFFFFFF. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask32 = 0xFFFFFFFF
+
+let sub ?(init = 0) s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.sub: out-of-range slice";
+  let table = Lazy.force table in
+  let c = ref (init lxor mask32) in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get table ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  !c lxor mask32
+
+let string ?init s = sub ?init s ~pos:0 ~len:(String.length s)
+let bytes ?init b = string ?init (Bytes.unsafe_to_string b)

@@ -241,21 +241,34 @@ let extend_all t (lo, hi) ~los ~his =
 
 (* --- persistence ----------------------------------------------------- *)
 
-(* Format v2: a one-line ASCII header
-       "kmm-fm-index 2 <n> <occ_rate> <sa_rate> <sentinel_row> <nsamples>
+(* Format v3 (current): a one-line ASCII header
+       "kmm-fm-index 3 <n> <occ_rate> <sa_rate> <sentinel_row> <nsamples>
         <blocks_bytes> <super_len>\n"
-   followed by five binary little-endian sections:
+   followed by five binary little-endian sections, {e each} immediately
+   followed by the 4-byte little-endian CRC-32 of its payload:
      1. packed text          ceil(n/4) bytes (2-bit codes, 4 bases/byte)
      2. occ blocks           <blocks_bytes> bytes (interleaved counts+payload)
      3. occ superblocks      <super_len> * 8 bytes (int64)
      4. sa marks bitvector   ceil((n+1)/8) bytes
      5. sa samples           <nsamples> * 8 bytes (int64)
-   Loading adopts the buffers directly (read + structural validation);
-   no BWT inversion, no recount, no LF walk.  The v1 format (header
-   version "1", payload = packed BWT only) is still read, through the
-   seed's reconstruction path. *)
+   and an 8-byte trailer: the ASCII magic "kmm3" plus the 4-byte LE
+   CRC-32 of {e every} preceding byte of the file (header included).
+
+   The section checksums attribute any corruption to the section that
+   holds it; the whole-file trailer covers the bytes the section sums
+   cannot (the header and the checksum fields themselves) and doubles as
+   an end-of-file marker, so any single-byte corruption or truncation is
+   detected deterministically — the structural validation below (Occ
+   checkpoint recount, text/BWT totals cross-check, SA shape checks) is
+   then defense in depth, not the only line.
+
+   Loading adopts the buffers directly; no BWT inversion, no LF walk.
+   The v2 format (same sections, no checksums) and the v1 format (header
+   version "1", payload = packed BWT only, reconstructing reader) are
+   still read, guarded by committed fixtures. *)
 
 let magic = "kmm-fm-index"
+let trailer_magic = "kmm3"
 
 let bytes_of_ints a =
   let b = Bytes.create (8 * Array.length a) in
@@ -265,63 +278,184 @@ let bytes_of_ints a =
 let ints_of_string s =
   Array.init (String.length s / 8) (fun i -> Int64.to_int (String.get_int64_le s (i * 8)))
 
-let save t path =
+let le32_of_int v =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let int_of_le32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+(* --- serialization ---------------------------------------------------- *)
+
+let header_line ~version t =
   let n = String.length t.text in
-  let blocks = Occ.raw_blocks t.occ in
-  let super = Occ.raw_super t.occ in
-  let oc = open_out_bin path in
-  Printf.fprintf oc "%s 2 %d %d %d %d %d %d %d\n" magic n (Occ.rate t.occ) t.sa_rate
-    t.sentinel_row (Array.length t.samples) (Bytes.length blocks) (Array.length super);
-  output_bytes oc (Packed_text.bytes (Packed_text.of_string t.text));
-  output_bytes oc blocks;
-  output_bytes oc (bytes_of_ints super);
-  output_bytes oc t.marks;
-  output_bytes oc (bytes_of_ints t.samples);
-  close_out oc
+  Printf.sprintf "%s %d %d %d %d %d %d %d %d\n" magic version n (Occ.rate t.occ)
+    t.sa_rate t.sentinel_row (Array.length t.samples)
+    (Bytes.length (Occ.raw_blocks t.occ))
+    (Array.length (Occ.raw_super t.occ))
 
-let corrupt path what = failwith (path ^ ": " ^ what)
+let sections t =
+  [
+    Bytes.unsafe_to_string (Packed_text.bytes (Packed_text.of_string t.text));
+    Bytes.unsafe_to_string (Occ.raw_blocks t.occ);
+    Bytes.unsafe_to_string (bytes_of_ints (Occ.raw_super t.occ));
+    Bytes.unsafe_to_string t.marks;
+    Bytes.unsafe_to_string (bytes_of_ints t.samples);
+  ]
 
-let read_section ic path what len =
-  try really_input_string ic len
-  with End_of_file | Invalid_argument _ ->
-    close_in ic;
-    corrupt path ("truncated index " ^ what)
+(* The whole v3 file as one in-memory image: serialization is separated
+   from file I/O so the byte-sweep tests (and the fuzz oracle) can
+   corrupt and re-parse images without touching the filesystem. *)
+let serialize t =
+  let buf = Buffer.create (4096 + (2 * String.length t.text)) in
+  let crc = ref 0 in
+  let add s =
+    Buffer.add_string buf s;
+    crc := Crc32.string ~init:!crc s
+  in
+  add (header_line ~version:3 t);
+  List.iter
+    (fun payload ->
+      add payload;
+      add (le32_of_int (Crc32.string payload)))
+    (sections t);
+  add trailer_magic;
+  Buffer.add_string buf (le32_of_int !crc);
+  Buffer.contents buf
 
-let finish_load ic path =
-  (* The payload is the last thing in the file; trailing bytes mean the
-     file was corrupted (or is not what the header claims). *)
-  (match input_char ic with
-  | _ ->
-      close_in ic;
-      corrupt path "trailing garbage after index payload"
-  | exception End_of_file -> ());
-  close_in ic
+let serialize_v2 t =
+  let buf = Buffer.create (4096 + (2 * String.length t.text)) in
+  Buffer.add_string buf (header_line ~version:2 t);
+  List.iter (Buffer.add_string buf) (sections t);
+  Buffer.contents buf
+
+(* --- atomic, crash-safe file writing ---------------------------------- *)
+
+type sink = { sink_write : string -> unit; sink_flush : unit -> unit }
+
+(* Write [image] to [path] atomically: stream into a same-directory temp
+   file, flush + fsync, close, then rename over [path].  On {e any}
+   failure (including one injected through [wrap]) the temp file is
+   removed and [path] is untouched; every fd is released via
+   [Fun.protect].  [wrap] interposes on the byte stream — the
+   fault-injection hook the crash-safety tests drive. *)
+let write_atomic ?(fsync = true) ?(wrap = fun (s : sink) -> s) image path =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".kmm-save-" ".tmp" in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  (match
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         let base =
+           {
+             sink_write = (fun s -> output_string oc s);
+             sink_flush =
+               (fun () ->
+                 flush oc;
+                 if fsync then Unix.fsync (Unix.descr_of_out_channel oc));
+           }
+         in
+         let s = wrap base in
+         (* Chunked writes, so injected faults see the same granularity a
+            real kernel write path would. *)
+         let len = String.length image in
+         let chunk = 65536 in
+         let pos = ref 0 in
+         while !pos < len do
+           let l = min chunk (len - !pos) in
+           s.sink_write (String.sub image !pos l);
+           pos := !pos + l
+         done;
+         s.sink_flush ())
+   with
+  | () -> ()
+  | exception e ->
+      cleanup ();
+      raise e);
+  (match Sys.rename tmp path with
+  | () -> ()
+  | exception e ->
+      cleanup ();
+      raise e);
+  (* Best-effort directory sync so the rename itself survives a crash. *)
+  if fsync then
+    try
+      let dfd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+      Fun.protect ~finally:(fun () -> Unix.close dfd) (fun () -> Unix.fsync dfd)
+    with Unix.Unix_error _ | Sys_error _ -> ()
+
+let save ?fsync ?wrap t path = write_atomic ?fsync ?wrap (serialize t) path
+let save_v2 ?fsync ?wrap t path = write_atomic ?fsync ?wrap (serialize_v2 t) path
+
+(* --- parsing ----------------------------------------------------------- *)
+
+(* All readers parse an in-memory image through a cursor; every length is
+   validated against the remaining bytes {e before} any slice or
+   allocation, so a forged header can produce [Truncated]/[Corrupt] but
+   never [Out_of_memory] or [End_of_file]. *)
+
+exception Fail of Kmm_error.t
+
+let fail e = raise (Fail e)
+let corrupt section detail = fail (Kmm_error.Corrupt (section, detail))
+
+type reader = { image : string; mutable pos : int }
+
+let remaining r = String.length r.image - r.pos
+
+let take r ~what n =
+  if n < 0 || n > remaining r then fail (Kmm_error.Truncated what);
+  let s = String.sub r.image r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* Like [input_line]: up to ['\n'] (consumed) or end of image. *)
+let take_line r =
+  match String.index_from_opt r.image r.pos '\n' with
+  | Some i ->
+      let s = String.sub r.image r.pos (i - r.pos) in
+      r.pos <- i + 1;
+      s
+  | None ->
+      let s = String.sub r.image r.pos (remaining r) in
+      r.pos <- String.length r.image;
+      s
+
+let take_crc r ~what = int_of_le32 (take r ~what:(what ^ " checksum") 4) 0
+
+let at_end r = remaining r = 0
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> corrupt Kmm_error.Header (Printf.sprintf "unparsable %s field" what)
+
+(* Shared header sanity: a forged or bit-flipped header must fail with
+   the same friendly error as an unparsable one, and must never be
+   allowed to drive a huge allocation (every derived length is bounded by
+   the image size through [take]). *)
+let check_header_ranges ~n ~occ_rate ~sa_rate ~sentinel_row =
+  if n < 0 || occ_rate <= 0 || sa_rate <= 0 || sentinel_row < 0 || sentinel_row > n
+  then corrupt Kmm_error.Header "field out of range"
 
 (* --- v1 reader (reconstructing) -------------------------------------- *)
 
-let load_v1 ic path fields =
+let load_v1 r fields =
   let n, occ_rate, sa_rate, sentinel_row =
     match fields with
-    | [ n; occ_rate; sa_rate; sentinel_row ] -> (
-        try
-          (int_of_string n, int_of_string occ_rate, int_of_string sa_rate,
-           int_of_string sentinel_row)
-        with Failure _ ->
-          close_in ic;
-          corrupt path "corrupt index header")
-    | _ ->
-        close_in ic;
-        corrupt path "corrupt index header"
+    | [ n; occ_rate; sa_rate; sentinel_row ] ->
+        ( int_field "n" n, int_field "occ_rate" occ_rate, int_field "sa_rate" sa_rate,
+          int_field "sentinel_row" sentinel_row )
+    | _ -> corrupt Kmm_error.Header "wrong field count"
   in
-  (* A forged or bit-flipped header must fail with the same friendly
-     message as an unparsable one. *)
-  if n < 0 || occ_rate <= 0 || sa_rate <= 0 || sentinel_row < 0 || sentinel_row > n
-  then begin
-    close_in ic;
-    corrupt path "corrupt index header"
-  end;
-  let payload = read_section ic path "payload" ((n + 3) / 4) in
-  finish_load ic path;
+  check_header_ranges ~n ~occ_rate ~sa_rate ~sentinel_row;
+  let payload = take r ~what:"payload" ((n + 3) / 4) in
+  if not (at_end r) then
+    corrupt Kmm_error.Trailer "trailing garbage after index payload";
   let packed = Packed_text.of_bytes payload ~len:n in
   let occ = Occ.of_packed ~rate:occ_rate ~sentinels:[| sentinel_row |] packed in
   let c_array = c_array_of_counts (Occ.counts occ) in
@@ -338,25 +472,24 @@ let load_v1 ic path fields =
       incr npairs
     end;
     if pos > 0 then begin
-      let c, r = Occ.char_rank occ !row in
-      if c = 0 then begin
+      let c, rk = Occ.char_rank occ !row in
+      if c = 0 then
         (* The sentinel can only ever be read at position 0. *)
-        corrupt path "corrupt index payload (broken LF cycle)"
-      end;
+        corrupt Kmm_error.Text_section "broken LF cycle in payload";
       Bytes.set text_buf (pos - 1) (Dna.Alphabet.of_code c);
-      row := c_array.(c) + r
+      row := c_array.(c) + rk
     end
   done;
   let sorted = List.sort (fun (r1, _) (r2, _) -> Int.compare r1 r2) !pairs in
   let marks = Bytes.make ((n + 8) / 8) '\000' in
   let samples = Array.make !npairs 0 in
   List.iteri
-    (fun i (r, p) ->
-      mark_set marks r;
+    (fun i (rw, p) ->
+      mark_set marks rw;
       samples.(i) <- p)
     sorted;
   let mark_cum, total = build_mark_cum marks (n + 1) in
-  if total <> !npairs then corrupt path "corrupt index payload";
+  if total <> !npairs then corrupt Kmm_error.Sa_marks "sample count mismatch";
   {
     text = Bytes.unsafe_to_string text_buf;
     occ;
@@ -368,46 +501,58 @@ let load_v1 ic path fields =
     samples;
   }
 
-(* --- v2 reader (adopting) -------------------------------------------- *)
+(* --- v2 / v3 readers (adopting) --------------------------------------- *)
 
-let load_v2 ic path fields =
-  let n, occ_rate, sa_rate, sentinel_row, nsamples, blocks_bytes, super_len =
+type v2_header = {
+  h_n : int;
+  h_occ_rate : int;
+  h_sa_rate : int;
+  h_sentinel_row : int;
+  h_nsamples : int;
+  h_blocks_bytes : int;
+  h_super_len : int;
+}
+
+let parse_v2_header fields =
+  let h =
     match fields with
-    | [ n; occ_rate; sa_rate; sentinel_row; nsamples; blocks_bytes; super_len ] -> (
-        try
-          ( int_of_string n, int_of_string occ_rate, int_of_string sa_rate,
-            int_of_string sentinel_row, int_of_string nsamples,
-            int_of_string blocks_bytes, int_of_string super_len )
-        with Failure _ ->
-          close_in ic;
-          corrupt path "corrupt index header")
-    | _ ->
-        close_in ic;
-        corrupt path "corrupt index header"
+    | [ n; occ_rate; sa_rate; sentinel_row; nsamples; blocks_bytes; super_len ] ->
+        {
+          h_n = int_field "n" n;
+          h_occ_rate = int_field "occ_rate" occ_rate;
+          h_sa_rate = int_field "sa_rate" sa_rate;
+          h_sentinel_row = int_field "sentinel_row" sentinel_row;
+          h_nsamples = int_field "nsamples" nsamples;
+          h_blocks_bytes = int_field "blocks_bytes" blocks_bytes;
+          h_super_len = int_field "super_len" super_len;
+        }
+    | _ -> corrupt Kmm_error.Header "wrong field count"
   in
+  check_header_ranges ~n:h.h_n ~occ_rate:h.h_occ_rate ~sa_rate:h.h_sa_rate
+    ~sentinel_row:h.h_sentinel_row;
   if
-    n < 0 || occ_rate <= 0 || sa_rate <= 0 || sentinel_row < 0 || sentinel_row > n
-    || nsamples < 1 || nsamples > n + 1 || blocks_bytes < 0 || super_len < 0
-  then begin
-    close_in ic;
-    corrupt path "corrupt index header"
-  end;
-  let text_payload = read_section ic path "text section" ((n + 3) / 4) in
-  let blocks = Bytes.of_string (read_section ic path "rank blocks" blocks_bytes) in
-  let super = ints_of_string (read_section ic path "superblocks" (8 * super_len)) in
-  let marks = Bytes.of_string (read_section ic path "sa marks" ((n + 8) / 8)) in
-  let samples = ints_of_string (read_section ic path "sa samples" (8 * nsamples)) in
-  finish_load ic path;
+    h.h_nsamples < 1 || h.h_nsamples > h.h_n + 1 || h.h_blocks_bytes < 0
+    || h.h_super_len < 0
+  then corrupt Kmm_error.Header "field out of range";
+  h
+
+(* Adopt the five sections of a v2/v3 file into an index, running the
+   structural validation (Occ checkpoint recount, text/BWT totals
+   cross-check, SA shape checks). *)
+let adopt h ~text_payload ~blocks ~super ~marks ~samples =
+  let n = h.h_n in
   let text =
     try Packed_text.to_string (Packed_text.of_bytes text_payload ~len:n)
-    with Invalid_argument _ -> corrupt path "corrupt text section"
+    with Invalid_argument _ -> corrupt Kmm_error.Text_section "bad packed payload"
   in
   let occ =
-    try Occ.of_raw ~rate:occ_rate ~len:(n + 1) ~sentinels:[| sentinel_row |] ~blocks ~super
-    with Invalid_argument _ -> corrupt path "corrupt rank blocks"
+    try
+      Occ.of_raw ~rate:h.h_occ_rate ~len:(n + 1)
+        ~sentinels:[| h.h_sentinel_row |] ~blocks ~super
+    with Invalid_argument msg -> corrupt Kmm_error.Rank_blocks msg
   in
-  (* Structural validation: the text section and the rank structure must
-     agree on per-character totals (an O(n) byte scan, no reconstruction). *)
+  (* The text section and the rank structure must agree on per-character
+     totals (an O(n) byte scan, no reconstruction). *)
   let counts = Occ.counts occ in
   let text_counts = Array.make sigma 0 in
   String.iter
@@ -417,7 +562,7 @@ let load_v2 ic path fields =
     text;
   for c = 1 to sigma - 1 do
     if text_counts.(c) <> counts.(c) then
-      corrupt path "text and BWT sections disagree"
+      corrupt Kmm_error.Text_section "text and BWT sections disagree"
   done;
   (* Clear mark padding bits beyond row n, then check sampling shape. *)
   (let rows = n + 1 in
@@ -427,18 +572,110 @@ let load_v2 ic path fields =
        (Char.chr (Char.code (Bytes.get marks last) land ((1 lsl (rows land 7)) - 1)))
    end);
   let mark_cum, total = build_mark_cum marks (n + 1) in
-  if total <> nsamples then corrupt path "sa marks / sample count mismatch";
-  if not (mark_test marks 0) then corrupt path "corrupt sa marks (row 0 unmarked)";
-  if samples.(0) <> n then corrupt path "corrupt sa samples (row 0)";
-  Array.iter (fun p -> if p < 0 || p > n then corrupt path "sa sample out of range") samples;
-  { text; occ; c_array = c_array_of_counts counts; sa_rate; sentinel_row; marks; mark_cum; samples }
+  if total <> h.h_nsamples then
+    corrupt Kmm_error.Sa_marks "sample count mismatch";
+  if not (mark_test marks 0) then corrupt Kmm_error.Sa_marks "row 0 unmarked";
+  if samples.(0) <> n then corrupt Kmm_error.Sa_samples "row 0 sample wrong";
+  Array.iter
+    (fun p ->
+      if p < 0 || p > n then corrupt Kmm_error.Sa_samples "sample out of range")
+    samples;
+  {
+    text;
+    occ;
+    c_array = c_array_of_counts counts;
+    sa_rate = h.h_sa_rate;
+    sentinel_row = h.h_sentinel_row;
+    marks;
+    mark_cum;
+    samples;
+  }
+
+let load_v2 r fields =
+  let h = parse_v2_header fields in
+  let n = h.h_n in
+  let text_payload = take r ~what:"text section" ((n + 3) / 4) in
+  let blocks = Bytes.of_string (take r ~what:"rank blocks" h.h_blocks_bytes) in
+  let super = ints_of_string (take r ~what:"superblocks" (8 * h.h_super_len)) in
+  let marks = Bytes.of_string (take r ~what:"sa marks" ((n + 8) / 8)) in
+  let samples = ints_of_string (take r ~what:"sa samples" (8 * h.h_nsamples)) in
+  if not (at_end r) then
+    corrupt Kmm_error.Trailer "trailing garbage after index payload";
+  adopt h ~text_payload ~blocks ~super ~marks ~samples
+
+let load_v3 r fields =
+  let h = parse_v2_header fields in
+  let n = h.h_n in
+  (* 8 * h_super_len below cannot overflow: the field is bounded by the
+     image size through the checks in [take] (a too-large claim fails as
+     [Truncated] before any arithmetic on derived offsets matters). *)
+  if h.h_super_len > String.length r.image || h.h_nsamples > String.length r.image
+  then fail (Kmm_error.Truncated "superblocks");
+  let section sec len =
+    let what = Kmm_error.section_name sec in
+    let payload = take r ~what len in
+    let stored = take_crc r ~what in
+    if Crc32.string payload <> stored then corrupt sec "checksum mismatch";
+    payload
+  in
+  let text_payload = section Kmm_error.Text_section ((n + 3) / 4) in
+  let blocks_s = section Kmm_error.Rank_blocks h.h_blocks_bytes in
+  let super_s = section Kmm_error.Superblocks (8 * h.h_super_len) in
+  let marks_s = section Kmm_error.Sa_marks ((n + 8) / 8) in
+  let samples_s = section Kmm_error.Sa_samples (8 * h.h_nsamples) in
+  (* Trailer: magic + CRC-32 of every byte before the trailer CRC field.
+     This covers the header and the per-section checksum fields, so a
+     flip anywhere in the file fails one of these deterministic checks. *)
+  let body_end = r.pos in
+  let tmagic = take r ~what:"trailer" 4 in
+  if tmagic <> trailer_magic then corrupt Kmm_error.Trailer "bad trailer magic";
+  let stored = take_crc r ~what:"trailer" in
+  if not (at_end r) then
+    corrupt Kmm_error.Trailer "trailing garbage after index payload";
+  let whole = Crc32.sub r.image ~pos:0 ~len:(body_end + 4) in
+  if whole <> stored then corrupt Kmm_error.Trailer "whole-file checksum mismatch";
+  adopt h ~text_payload
+    ~blocks:(Bytes.of_string blocks_s)
+    ~super:(ints_of_string super_s)
+    ~marks:(Bytes.of_string marks_s)
+    ~samples:(ints_of_string samples_s)
+
+let try_of_string image =
+  let r = { image; pos = 0 } in
+  match
+    let header = take_line r in
+    match String.split_on_char ' ' header with
+    | m :: version :: fields when m = magic -> (
+        match version with
+        | "1" -> load_v1 r fields
+        | "2" -> load_v2 r fields
+        | "3" -> load_v3 r fields
+        | v -> (
+            match int_of_string_opt v with
+            | Some nv -> fail (Kmm_error.Unsupported_version nv)
+            | None -> fail Kmm_error.Bad_magic))
+    | _ -> fail Kmm_error.Bad_magic
+  with
+  | t -> Ok t
+  | exception Fail e -> Error e
+  | exception e ->
+      (* A reader bug, not a property of the file: surface it as such
+         rather than masking it as corruption. *)
+      Error (Kmm_error.Internal (Printexc.to_string e))
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let try_load path =
+  match read_whole_file path with
+  | image -> try_of_string image
+  | exception (Sys_error _ as e) -> Error (Kmm_error.Io e)
 
 let load path =
-  let ic = open_in_bin path in
-  let header = try input_line ic with End_of_file -> "" in
-  match String.split_on_char ' ' header with
-  | m :: "1" :: fields when m = magic -> load_v1 ic path fields
-  | m :: "2" :: fields when m = magic -> load_v2 ic path fields
-  | _ ->
-      close_in ic;
-      failwith (path ^ ": not a kmm FM-index file")
+  match try_load path with
+  | Ok t -> t
+  | Error (Kmm_error.Io e) -> raise e
+  | Error e -> failwith (path ^ ": " ^ Kmm_error.to_string e)

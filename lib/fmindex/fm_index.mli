@@ -69,16 +69,57 @@ val extend_all : t -> interval -> los:int array -> his:int array -> unit
     must have length 5 (the alphabet size).  Costs two block scans
     instead of eight. *)
 
-val save : t -> string -> unit
-(** Persist the index to a file in format v2: an ASCII header followed by
-    the 2-bit packed text, the interleaved rank blocks, the superblock
-    counters, and the SA mark bitvector and samples — the index's own
-    buffers, written verbatim. *)
+(** {1 Persistence}
+
+    The on-disk format is {b v3}: an ASCII header, then the 2-bit packed
+    text, the interleaved rank blocks, the superblock counters, and the
+    SA mark bitvector and samples — the index's own buffers written
+    verbatim, each followed by its CRC-32, plus an 8-byte trailer
+    ([kmm3] + the CRC-32 of the whole preceding file).  Any single-byte
+    corruption or truncation of a v3 file is detected at load with a
+    typed {!Kmm_error.t}.  v1 and v2 files from earlier releases are
+    still read (guarded by committed fixtures). *)
+
+type sink = {
+  sink_write : string -> unit;  (** append a chunk; may raise *)
+  sink_flush : unit -> unit;  (** flush + fsync barrier before rename; may raise *)
+}
+(** The byte stream [save] writes through.  Test harnesses interpose on
+    it (via the [wrap] argument) to inject I/O faults — ENOSPC, crashes,
+    short or corrupted writes — without touching the production path. *)
+
+val serialize : t -> string
+(** The complete v3 file image in memory — what {!save} writes and
+    {!try_of_string} parses.  Separated from file I/O so corruption
+    sweeps and fuzzers can work on images directly. *)
+
+val save : ?fsync:bool -> ?wrap:(sink -> sink) -> t -> string -> unit
+(** Persist the index to [path] in format v3, {b atomically}: the image
+    is streamed to a fresh temp file in the same directory, flushed and
+    fsynced ([fsync] defaults to [true]), and renamed over [path] only
+    then.  If anything fails mid-save — disk full, a crash simulated by
+    a [wrap]-injected fault, an exception from the OS — the temp file is
+    removed and [path] keeps its previous contents (or stays absent);
+    all fds are released via [Fun.protect] on every path. *)
+
+val save_v2 : ?fsync:bool -> ?wrap:(sink -> sink) -> t -> string -> unit
+(** The legacy v2 writer (no checksums), kept so compatibility tests can
+    produce fresh v2 files.  Same atomic protocol as {!save}. *)
+
+val try_of_string : string -> (t, Kmm_error.t) result
+(** Parse an index image of any supported version.  A v2/v3 file is
+    adopted directly (structural validation, no reconstruction); v1 goes
+    through the original rebuild path.  Never raises on bad input: a
+    forged header, flipped byte, truncation or trailing garbage comes
+    back as [Error] with the failing section attributed — and never as
+    [Out_of_memory], [End_of_file] or a silently wrong index. *)
+
+val try_load : string -> (t, Kmm_error.t) result
+(** Read and parse a file: {!try_of_string} plus an [Error (Io _)] for
+    filesystem failures.  The fd is released on every path. *)
 
 val load : string -> t
-(** Reload an index written by {!save}.  A v2 file is adopted directly
-    (read plus structural validation; no BWT inversion, rank recount or
-    LF reconstruction); v1 files from earlier releases are still read via
-    the original rebuild path.  Raises [Failure] on a file that is not a
-    valid index (wrong magic, truncated or inconsistent sections,
-    trailing garbage). *)
+(** Raising wrapper over {!try_load}, kept for callers that prefer
+    exceptions: raises [Failure] with a descriptive message on a file
+    that is not a valid index, and re-raises the original [Sys_error]
+    when the file cannot be read at all. *)

@@ -46,11 +46,14 @@ let test_pool_exception_propagates () =
             if task = 17 then failwith "boom")
       with
       | () -> Alcotest.fail "exception swallowed"
-      | exception Failure msg -> check Alcotest.string "message" "boom" msg);
+      | exception Work_pool.Task_failed { task; exn = Failure msg } ->
+          check int "failing task id" 17 task;
+          check Alcotest.string "message" "boom" msg
+      | exception e -> Alcotest.fail ("unexpected exception " ^ Printexc.to_string e));
   (* the pool is still usable after a failed job *)
   Work_pool.with_pool ~domains:4 (fun pool ->
       (try Work_pool.run pool ~tasks:4 (fun ~worker:_ ~task:_ -> failwith "x")
-       with Failure _ -> ());
+       with Work_pool.Task_failed _ -> ());
       let out = Work_pool.map_array pool ~f:succ [| 1; 2; 3 |] in
       check bool "pool alive after error" true (out = [| 2; 3; 4 |]))
 

@@ -117,17 +117,18 @@ let test_fm_load_truncated () =
       | _ -> Alcotest.fail "truncated file accepted")
 
 let test_index_file_size () =
-  (* Format v2 serializes the index's own buffers — packed text (n/4),
+  (* Format v3 serializes the index's own buffers — packed text (n/4),
      interleaved rank blocks (~n/2 at rate 32), SA marks (~n/8) and
-     samples (~n/2 at rate 16) — trading ~1.4 bytes/base of file for a
-     load that performs no reconstruction at all. *)
+     samples (~n/2 at rate 16) plus 28 bytes of checksums — trading
+     ~1.4 bytes/base of file for a load that performs no reconstruction
+     at all. *)
   with_temp (fun path ->
       let text = Dna.Sequence.to_string (Dna.Sequence.random ~state:(Random.State.make [| 4 |]) 10_000) in
       Fmindex.Fm_index.save (Fmindex.Fm_index.build text) path;
       let size = (Unix.stat path).Unix.st_size in
       check bool "about 1.4 n" true (size < 14_500 && size > 13_000))
 
-let test_v2_header () =
+let test_v3_header () =
   (* [save] writes the current format: other tools (and these tests) may
      rely on the version token. *)
   with_temp (fun path ->
@@ -135,15 +136,14 @@ let test_v2_header () =
       let line = In_channel.with_open_bin path In_channel.input_line in
       match line with
       | Some l ->
-          check bool "v2 magic" true
-            (String.length l > 14 && String.sub l 0 14 = "kmm-fm-index 2")
+          check bool "v3 magic" true
+            (String.length l > 14 && String.sub l 0 14 = "kmm-fm-index 3")
       | None -> Alcotest.fail "empty index file")
 
-let test_v2_section_corruption () =
-  (* Flip bytes inside the binary sections of a v2 file; every corruption
-     must be rejected by the structural validation (checkpoint recount,
-     text-vs-totals cross-check, sample range checks), never loaded
-     quietly. *)
+let test_v3_section_corruption () =
+  (* Flip bytes inside the binary sections of a saved file; every
+     corruption must be rejected (in v3 by the per-section CRCs), never
+     loaded quietly. *)
   with_temp (fun path ->
       let st = Random.State.make [| 9 |] in
       let text = Test_util.random_dna st 400 in
@@ -170,7 +170,7 @@ let test_v2_section_corruption () =
          inconsistent with the text section. *)
       corrupt_at (header_len + 100 + 8))
 
-let test_v2_truncated_sections () =
+let test_v3_truncated_sections () =
   (* Truncate at several byte counts spanning every section boundary. *)
   with_temp (fun path ->
       let text = Test_util.random_dna (Random.State.make [| 11 |]) 300 in
@@ -213,20 +213,62 @@ let test_v1_fixture_random () =
         (Fmindex.Fm_index.find_all fresh pat) (Fmindex.Fm_index.find_all fm pat))
     [ "a"; "tt"; "acg"; "gatc"; String.sub expected 100 7 ]
 
-let test_v1_fixture_resave_is_v2 () =
-  (* Loading a v1 file and saving it again migrates to v2. *)
+let test_v1_fixture_resave_is_v3 () =
+  (* Loading a v1 file and saving it again migrates to the current
+     format (v3). *)
   with_temp (fun path ->
       let fm = Fmindex.Fm_index.load "fixtures/v1-random211.fmi" in
       Fmindex.Fm_index.save fm path;
       let line = In_channel.with_open_bin path In_channel.input_line in
       (match line with
-      | Some l -> check bool "resave v2" true (String.sub l 0 14 = "kmm-fm-index 2")
+      | Some l -> check bool "resave v3" true (String.sub l 0 14 = "kmm-fm-index 3")
       | None -> Alcotest.fail "empty resave");
       let fm' = Fmindex.Fm_index.load path in
       check string "text survives migration" (Fmindex.Fm_index.text fm)
         (Fmindex.Fm_index.text fm');
       check bool "search survives migration" true
         (Fmindex.Fm_index.find_all fm' "acg" = Fmindex.Fm_index.find_all fm "acg"))
+
+(* ------------------------------------------------------------------ *)
+(* Committed v2 fixtures: files written by the previous release (before
+   checksums) must keep loading byte-for-byte. *)
+
+let test_v2_fixture_paper () =
+  let fm = Fmindex.Fm_index.load "fixtures/v2-paper.fmi" in
+  check string "paper text" "acagaca" (Fmindex.Fm_index.text fm);
+  check Alcotest.(list int) "paper search" [ 0; 4 ] (Fmindex.Fm_index.find_all fm "aca")
+
+let test_v2_fixture_random () =
+  let expected =
+    In_channel.with_open_bin "fixtures/v2-random317.txt" In_channel.input_all
+  in
+  let fm = Fmindex.Fm_index.load "fixtures/v2-random317.fmi" in
+  check string "fixture text" expected (Fmindex.Fm_index.text fm);
+  (* The v2 file was written with occ_rate 7 / sa_rate 5; answers must
+     match a freshly built index. *)
+  let fresh = Fmindex.Fm_index.build expected in
+  List.iter
+    (fun pat ->
+      check Alcotest.(list int) ("fixture find_all " ^ pat)
+        (Fmindex.Fm_index.find_all fresh pat) (Fmindex.Fm_index.find_all fm pat))
+    [ "a"; "tt"; "acg"; "gatc"; String.sub expected 150 7 ]
+
+let test_save_v2_loads () =
+  (* The v2 writer is kept for fixture (re)generation and downgrade
+     paths; its output must stay loadable. *)
+  with_temp (fun path ->
+      let text = Test_util.random_dna (Random.State.make [| 23 |]) 500 in
+      let fm = Fmindex.Fm_index.build text in
+      Fmindex.Fm_index.save_v2 fm path;
+      let line = In_channel.with_open_bin path In_channel.input_line in
+      (match line with
+      | Some l -> check bool "v2 magic" true (String.sub l 0 14 = "kmm-fm-index 2")
+      | None -> Alcotest.fail "empty v2 file");
+      let fm' = Fmindex.Fm_index.load path in
+      check string "text" text (Fmindex.Fm_index.text fm');
+      check bool "find_all agrees" true
+        (Fmindex.Fm_index.find_all fm' (String.sub text 17 5)
+        = Fmindex.Fm_index.find_all fm (String.sub text 17 5)))
 
 let prop_kmismatch_index_roundtrip =
   Test_util.qtest ~count:50 "kmismatch index roundtrip"
@@ -338,12 +380,15 @@ let () =
           Alcotest.test_case "bad rates rejected" `Quick test_fm_load_bad_rates;
           Alcotest.test_case "trailing garbage rejected" `Quick test_fm_load_trailing_garbage;
           Alcotest.test_case "file size ~ 1.4 n" `Quick test_index_file_size;
-          Alcotest.test_case "v2 header written" `Quick test_v2_header;
-          Alcotest.test_case "v2 section corruption rejected" `Quick test_v2_section_corruption;
-          Alcotest.test_case "v2 truncated sections rejected" `Quick test_v2_truncated_sections;
+          Alcotest.test_case "v3 header written" `Quick test_v3_header;
+          Alcotest.test_case "v3 section corruption rejected" `Quick test_v3_section_corruption;
+          Alcotest.test_case "v3 truncated sections rejected" `Quick test_v3_truncated_sections;
           Alcotest.test_case "v1 fixture: paper text" `Quick test_v1_fixture_paper;
           Alcotest.test_case "v1 fixture: random211" `Quick test_v1_fixture_random;
-          Alcotest.test_case "v1 fixture: resave migrates to v2" `Quick test_v1_fixture_resave_is_v2;
+          Alcotest.test_case "v1 fixture: resave migrates to v3" `Quick test_v1_fixture_resave_is_v3;
+          Alcotest.test_case "v2 fixture: paper text" `Quick test_v2_fixture_paper;
+          Alcotest.test_case "v2 fixture: random317" `Quick test_v2_fixture_random;
+          Alcotest.test_case "save_v2 output loads" `Quick test_save_v2_loads;
           prop_fm_roundtrip;
           prop_fm_roundtrip_rates;
           prop_kmismatch_index_roundtrip;
