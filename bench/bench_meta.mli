@@ -1,0 +1,22 @@
+(** Provenance stamp for benchmark JSON records.
+
+    Every [BENCH_*.json] line carries a [meta] object naming the commit,
+    compiler, host, UTC instant and domain count that produced it, so
+    numbers from different machines or PRs are never silently compared.
+    All probes are fail-soft: in an environment without git or a
+    hostname they degrade to ["unknown"] instead of failing the bench. *)
+
+val git_rev : unit -> string
+(** Short hash of [HEAD], or ["unknown"] outside a git checkout. *)
+
+val hostname : unit -> string
+(** The machine's hostname, or ["unknown"]. *)
+
+val timestamp_utc : unit -> string
+(** The current instant as ISO-8601 UTC, e.g. ["2026-08-06T12:34:56Z"]. *)
+
+val to_json : unit -> string
+(** The complete meta object:
+    [{"git_rev":..., "ocaml":..., "hostname":..., "timestamp_utc":...,
+    "domains":...}] with every string JSON-escaped.  Intended to be
+    spliced into a bench record as its ["meta"] field. *)

@@ -85,7 +85,14 @@ let avg_search_time ?stats idx engine ~reads:rs ~k =
     time_unit (fun () ->
         List.iter
           (fun pattern ->
-            ignore (Core.Kmismatch.search ?stats idx ~engine ~pattern ~k))
+            let r =
+              Core.Kmismatch.run idx
+                (Core.Kmismatch.Query.make ~engine ~pattern ~k ())
+            in
+            match stats with
+            | Some into ->
+                Core.Stats.merge ~into r.Core.Kmismatch.Response.stats
+            | None -> ())
           rs)
   in
   total /. float_of_int (List.length rs)

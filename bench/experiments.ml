@@ -86,20 +86,20 @@ let table2 () =
     List.map
       (fun (k, len) ->
         let rs = reads ~name ~count:10 ~len ~seed:(100 + k) () in
+        let accumulate engine into =
+          List.iter
+            (fun pattern ->
+              let r =
+                Core.Kmismatch.run idx
+                  (Core.Kmismatch.Query.make ~engine ~pattern ~k ())
+              in
+              Core.Stats.merge ~into r.Core.Kmismatch.Response.stats)
+            rs
+        in
         let m_stats = Core.Stats.create () in
-        List.iter
-          (fun pattern ->
-            ignore
-              (Core.Kmismatch.search ~stats:m_stats idx ~engine:Core.Kmismatch.M_tree
-                 ~pattern ~k))
-          rs;
+        accumulate Core.Kmismatch.M_tree m_stats;
         let s_stats = Core.Stats.create () in
-        List.iter
-          (fun pattern ->
-            ignore
-              (Core.Kmismatch.search ~stats:s_stats idx ~engine:Core.Kmismatch.S_tree
-                 ~pattern ~k))
-          rs;
+        accumulate Core.Kmismatch.S_tree s_stats;
         [
           Printf.sprintf "%d/%d" k len;
           fmt_count (Core.Stats.total_leaves m_stats);
@@ -189,7 +189,10 @@ let fig12 () =
                  (time_unit (fun () ->
                       List.iter
                         (fun pattern ->
-                          ignore (Core.Kmismatch.search idx ~engine ~pattern ~k))
+                          ignore
+                            (Core.Kmismatch.run idx
+                               (Core.Kmismatch.Query.make ~engine ~pattern ~k
+                                  ())))
                         rs)))
              paper_engines)
       counts
@@ -240,9 +243,14 @@ let ablation () =
           List.iter
             (fun pattern ->
               ignore
-                (Core.Kmismatch.search
-                   ~config:{ Core.M_tree.default_config with Core.M_tree.chain_skip = false }
-                   idx ~engine:Core.Kmismatch.M_tree ~pattern ~k))
+                (Core.Kmismatch.run idx
+                   (Core.Kmismatch.Query.make
+                      ~config:
+                        {
+                          Core.M_tree.default_config with
+                          Core.M_tree.chain_skip = false;
+                        }
+                      ~engine:Core.Kmismatch.M_tree ~pattern ~k ())))
             rs)
     in
     total /. float_of_int (List.length rs)

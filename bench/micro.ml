@@ -55,7 +55,10 @@ let make_tests () =
          (let idx = Core.Kmismatch.build_index text in
           let p = String.sub text 77_000 30 in
           fun () ->
-            ignore (Core.Kmismatch.search idx ~engine:Core.Kmismatch.M_tree ~pattern:p ~k:2)));
+            ignore
+              (Core.Kmismatch.run idx
+                 (Core.Kmismatch.Query.make ~engine:Core.Kmismatch.M_tree
+                    ~pattern:p ~k:2 ()))));
   ]
 
 let run () =

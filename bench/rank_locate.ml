@@ -139,14 +139,20 @@ type measurement = {
 let speedup m = m.seed_s /. m.packed_s
 let ns_per_op s ops = s *. 1e9 /. float_of_int ops
 
-let run ?(out = "BENCH_fmindex.json") ?(size = 1_000_000) ?(seed = 42) () =
+let run ?(obs = Obs.noop) ?(out = "BENCH_fmindex.json") ?(size = 1_000_000)
+    ?(seed = 42) () =
   Printf.printf "\n==== rank-locate: packed Occ kernel vs seed byte-scan ====\n%!";
   let st = Random.State.make [| seed |] in
   let text = Dna.Sequence.to_string (Dna.Sequence.random ~state:st size) in
   note "text: %d bp random genome (seed %d)" size seed;
-  let fm, build_dt = time (fun () -> Fm.build text) in
+  let fm, build_dt =
+    Obs.span obs "bench.build" (fun () -> time (fun () -> Fm.build text))
+  in
   note "packed build: %.2fs (occ rate 32, sa rate 16)" build_dt;
-  let sm, seed_build_dt = time (fun () -> Seed_model.build text) in
+  let sm, seed_build_dt =
+    Obs.span obs "bench.seed_build" (fun () ->
+        time (fun () -> Seed_model.build text))
+  in
   note "seed-model build: %.2fs (occ rate 16, sa rate 16)" seed_build_dt;
   let n = size in
 
@@ -288,6 +294,19 @@ let run ?(out = "BENCH_fmindex.json") ?(size = 1_000_000) ?(seed = 42) () =
   in
 
   let measurements = [ m_rank; m_extend; m_count; m_locate ] in
+  (* Surface the per-workload results through the sink too, so
+     [kmm bench --metrics-out] expositions carry the same numbers as the
+     JSON record. *)
+  List.iter
+    (fun m ->
+      Obs.record obs
+        ("bench." ^ m.label ^ ".packed_ns_per_op")
+        (int_of_float (ns_per_op m.packed_s m.ops));
+      Obs.record obs
+        ("bench." ^ m.label ^ ".seed_ns_per_op")
+        (int_of_float (ns_per_op m.seed_s m.ops));
+      Obs.incr ~by:m.ops obs ("bench." ^ m.label ^ ".ops"))
+    measurements;
   Printf.printf "  %-14s %12s %12s %9s %7s\n" "workload" "packed ns/op" "seed ns/op" "speedup"
     "agree";
   Printf.printf "  %s\n" (String.make 58 '-');
@@ -323,11 +342,12 @@ let run ?(out = "BENCH_fmindex.json") ?(size = 1_000_000) ?(seed = 42) () =
   (* --- JSON record --------------------------------------------------- *)
   let json =
     Printf.sprintf
-      "{\"bench\":\"rank_locate\",\"size\":%d,\"seed\":%d,\"occ_rate_packed\":32,\
+      "{\"bench\":\"rank_locate\",\"meta\":%s,\"size\":%d,\"seed\":%d,\
+       \"occ_rate_packed\":32,\
        \"occ_rate_seed\":16,\"results\":[%s],\"space\":{\"packed_rank_bytes\":%d,\
        \"packed_bits_per_base\":%.3f,\"seed_rank_bytes\":%d},\"persistence\":\
        {\"build_s\":%.4f,\"v2_load_s\":%.4f}}"
-      size seed
+      (Bench_meta.to_json ()) size seed
       (String.concat ","
          (List.map
             (fun m ->

@@ -37,6 +37,46 @@ let obtain_index ~genome ~index_file =
   | Some path, None -> Core.Kmismatch.of_sequence (read_genome path)
   | None, None -> failwith "one of --genome or --index is required"
 
+(* --- observability plumbing ----------------------------------------- *)
+
+(* [--trace FILE] and [--metrics-out FILE] arm an active sink (and the
+   FM-index telemetry hook) for the duration of the command and write
+   the exporters on the way out — even if the command raises.  Without
+   either flag the command runs on [Obs.noop] and pays nothing. *)
+let trace_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv) (load it in \
+           Perfetto or about://tracing).")
+
+let metrics_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write counters and latency histograms to $(docv) in the Prometheus \
+           text exposition format.")
+
+let with_obs ~trace ~metrics_out f =
+  match (trace, metrics_out) with
+  | None, None -> f Obs.noop
+  | _ ->
+      let obs = Obs.create ~trace:(trace <> None) () in
+      Fmindex.Fm_index.Telemetry.set_enabled true;
+      let finish () =
+        Fmindex.Fm_index.Telemetry.set_enabled false;
+        Option.iter (Obs.write_chrome_trace ~process_name:"kmm" obs) trace;
+        Option.iter (Obs.write_prometheus obs) metrics_out
+      in
+      Fun.protect ~finally:finish (fun () -> f obs)
+
+let pp_timings ppf timings =
+  List.iter (fun (name, s) -> Format.fprintf ppf " %s=%.4fs" name s) timings
+
 let genome_arg =
   Cmdliner.Arg.(
     value & opt (some string) None
@@ -145,16 +185,20 @@ let engine_conv =
   Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (Core.Kmismatch.engine_name e))
 
 let search_cmd =
-  let run genome index_file pattern k engine verbose =
+  let run genome index_file pattern k engine verbose trace metrics_out =
     let idx = obtain_index ~genome ~index_file in
-    let stats = Core.Stats.create () in
-    let t0 = Unix.gettimeofday () in
-    let hits = Core.Kmismatch.search ~stats idx ~engine ~pattern ~k in
-    let dt = Unix.gettimeofday () -. t0 in
-    List.iter (fun (pos, d) -> Printf.printf "%d\t%d\n" pos d) hits;
-    if verbose then
-      Format.eprintf "engine=%s hits=%d time=%.4fs %a@." (Core.Kmismatch.engine_name engine)
-        (List.length hits) dt Core.Stats.pp stats;
+    with_obs ~trace ~metrics_out (fun obs ->
+        let r =
+          Core.Kmismatch.run idx
+            (Core.Kmismatch.Query.make ~obs ~engine ~pattern ~k ())
+        in
+        let hits = r.Core.Kmismatch.Response.hits in
+        List.iter (fun (pos, d) -> Printf.printf "%d\t%d\n" pos d) hits;
+        if verbose then
+          Format.eprintf "engine=%s hits=%d%a %a@."
+            (Core.Kmismatch.engine_name engine)
+            (List.length hits) pp_timings r.Core.Kmismatch.Response.timings
+            Core.Stats.pp r.Core.Kmismatch.Response.stats);
     `Ok ()
   in
   let pattern =
@@ -167,12 +211,16 @@ let search_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print statistics.") in
   Cmd.v
     (Cmd.info "search" ~doc:"String matching with k mismatches")
-    Term.(ret (const run $ genome_arg $ index_arg $ pattern $ k $ engine $ verbose))
+    Term.(
+      ret
+        (const run $ genome_arg $ index_arg $ pattern $ k $ engine $ verbose
+       $ trace_arg $ metrics_arg))
 
 (* --- map ------------------------------------------------------------ *)
 
 let map_cmd =
-  let run genome index_file reads k engine both_strands best jobs =
+  let run genome index_file reads k engine both_strands best jobs trace
+      metrics_out =
     if jobs < 1 then failwith "--jobs must be >= 1";
     let idx = obtain_index ~genome ~index_file in
     let records =
@@ -183,25 +231,27 @@ let map_cmd =
     let inputs =
       List.mapi (fun i r -> (i, Dna.Sequence.to_string r.Dna.Fasta.seq)) records
     in
-    let hits, summary =
-      Core.Mapper.map_reads ~engine ~both_strands ~domains:jobs idx ~reads:inputs ~k
-    in
-    let hits = if best then Core.Mapper.best_hits hits else hits in
-    print_string (Core.Mapper.to_tsv hits);
-    Format.eprintf
-      "mapped %d/%d reads (%d unique, %d ambiguous, %d skipped; k=%d, engine=%s, \
-       jobs=%d)@."
-      summary.Core.Mapper.mapped summary.Core.Mapper.total summary.Core.Mapper.unique
-      summary.Core.Mapper.ambiguous
-      (List.length summary.Core.Mapper.skipped)
-      k
-      (Core.Kmismatch.engine_name engine)
-      jobs;
-    (* Fail-soft: bad reads are reported, not fatal. *)
-    List.iter
-      (fun (id, e) ->
-        Format.eprintf "skipped read %d: %s@." id (Kmm_error.to_string e))
-      summary.Core.Mapper.skipped;
+    with_obs ~trace ~metrics_out (fun obs ->
+        let options =
+          { Core.Mapper.default with engine; both_strands; domains = jobs; obs }
+        in
+        let hits, summary = Core.Mapper.run options idx ~reads:inputs ~k in
+        let hits = if best then Core.Mapper.best_hits hits else hits in
+        print_string (Core.Mapper.to_tsv hits);
+        Format.eprintf
+          "mapped %d/%d reads (%d unique, %d ambiguous, %d skipped; k=%d, \
+           engine=%s, jobs=%d;%a)@."
+          summary.Core.Mapper.mapped summary.Core.Mapper.total
+          summary.Core.Mapper.unique summary.Core.Mapper.ambiguous
+          (List.length summary.Core.Mapper.skipped)
+          k
+          (Core.Kmismatch.engine_name engine)
+          jobs pp_timings summary.Core.Mapper.timings;
+        (* Fail-soft: bad reads are reported, not fatal. *)
+        List.iter
+          (fun (id, e) ->
+            Format.eprintf "skipped read %d: %s@." id (Kmm_error.to_string e))
+          summary.Core.Mapper.skipped);
     `Ok ()
   in
   let reads =
@@ -226,7 +276,10 @@ let map_cmd =
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map a read set against a genome")
-    Term.(ret (const run $ genome_arg $ index_arg $ reads $ k $ engine $ both $ best $ jobs))
+    Term.(
+      ret
+        (const run $ genome_arg $ index_arg $ reads $ k $ engine $ both $ best
+       $ jobs $ trace_arg $ metrics_arg))
 
 (* --- index ---------------------------------------------------------- *)
 
@@ -387,10 +440,11 @@ let fuzz_cmd =
 (* --- bench ----------------------------------------------------------- *)
 
 let bench_cmd =
-  let run which out size seed =
+  let run which out size seed trace metrics_out =
     match which with
     | "rank-locate" ->
-        Rank_locate.run ~out ~size ~seed ();
+        with_obs ~trace ~metrics_out (fun obs ->
+            Rank_locate.run ~obs ~out ~size ~seed ());
         `Ok ()
     | other ->
         `Error
@@ -423,7 +477,7 @@ let bench_cmd =
               extend_all, count and locate workloads, with answers cross-checked. \
               Appends one JSON object per run to --out.";
          ])
-    Term.(ret (const run $ which $ out $ size $ seed))
+    Term.(ret (const run $ which $ out $ size $ seed $ trace_arg $ metrics_arg))
 
 (* --- bwt ------------------------------------------------------------ *)
 

@@ -36,30 +36,120 @@ let length t = String.length t.text
 let fm_rev t = t.fm_rev
 let suffix_tree t = Lazy.force t.tree
 
-let search ?stats ?config t ~engine ~pattern ~k =
-  let pattern = Dna.Sequence.to_string (Dna.Sequence.of_string pattern) in
+module Query = struct
+  type t = {
+    engine : engine;
+    pattern : string;
+    k : int;
+    config : M_tree.config option;
+    obs : Obs.t;
+  }
+
+  let make ?config ?(obs = Obs.noop) ~engine ~pattern ~k () =
+    { engine; pattern; k; config; obs }
+end
+
+module Response = struct
+  type t = {
+    hits : (int * int) list;
+    stats : Stats.t;
+    timings : (string * float) list;
+  }
+
+  let positions r = List.map fst r.hits
+end
+
+(* Flush per-query engine work into the sink's counters (counters v2:
+   the [Stats] fields become [engine.*] counters, and — when the
+   FM-index telemetry hook is armed — rank-layer effort becomes [fm.*]
+   counters).  All of these are per-record sums, so per-domain sinks
+   merge to exactly the sequential totals. *)
+let flush_counters obs (s : Stats.t) fm_delta =
+  Obs.add obs "engine.nodes" s.nodes;
+  Obs.add obs "engine.leaves" s.leaves;
+  Obs.add obs "engine.rank_calls" s.rank_calls;
+  Obs.add obs "engine.derivations" s.derivations;
+  Obs.add obs "engine.derived_leaves" s.derived_leaves;
+  Obs.add obs "engine.resumes" s.resumes;
+  match fm_delta with
+  | None -> ()
+  | Some (d : Fmindex.Fm_index.Telemetry.counters) ->
+      Obs.add obs "fm.rank_ops" d.rank_ops;
+      Obs.add obs "fm.block_decodes" d.block_decodes;
+      Obs.add obs "fm.locate_walks" d.locate_walks;
+      Obs.add obs "fm.locate_steps" d.locate_steps
+
+let run t (q : Query.t) =
+  let obs = q.obs in
+  let t0 = Obs.Clock.now_ns () in
+  let pattern = Dna.Sequence.to_string (Dna.Sequence.of_string q.pattern) in
   if pattern = "" then invalid_arg "Kmismatch.search: empty pattern";
-  if k < 0 then invalid_arg "Kmismatch.search: negative k";
+  if q.k < 0 then invalid_arg "Kmismatch.search: negative k";
   (* Degenerate budgets are uniform across engines: a window holds at
      most m mismatches, so k >= m answers every window position at its
      true distance.  Clamping here (and in each engine, for direct
      callers) makes that explicit and keeps k-derived arithmetic such as
      the M-tree's 2k+3 merge horizon safely inside the word. *)
-  let k = min k (String.length pattern) in
-  (* A pattern longer than the text can match nowhere.  Guard once for
-     every engine: the tree/BWT engines are not written for this
-     degenerate case and used to fall through to it. *)
-  if String.length pattern > String.length t.text then []
-  else
-    match engine with
-    | M_tree -> M_tree.search ?config ?stats t.fm_rev ~pattern ~k
-    | S_tree -> S_tree.search ~use_delta:true ?stats t.fm_rev ~pattern ~k
-    | S_tree_no_delta -> S_tree.search ~use_delta:false ?stats t.fm_rev ~pattern ~k
-    | Hybrid -> Hybrid.search ?stats t.fm_rev ~text:t.text ~pattern ~k
-    | Cole -> Cole.search ?stats (Lazy.force t.tree) ~pattern ~k
-    | Amir -> Amir.search ?stats ~pattern ~k t.text
-    | Kangaroo -> Stringmatch.Kangaroo.search ~pattern ~text:t.text ~k
-    | Naive -> Stringmatch.Hamming.search ~pattern ~text:t.text ~k
+  let k = min q.k (String.length pattern) in
+  let t1 = Obs.Clock.now_ns () in
+  let stats = Stats.create () in
+  let telemetry =
+    Obs.enabled obs && Fmindex.Fm_index.Telemetry.is_enabled ()
+  in
+  let tele_before =
+    if telemetry then Some (Fmindex.Fm_index.Telemetry.snapshot ()) else None
+  in
+  let hits =
+    Obs.span obs "query"
+      ~args:
+        [
+          ("engine", engine_name q.engine);
+          ("k", string_of_int k);
+          ("m", string_of_int (String.length pattern));
+        ]
+      (fun () ->
+        (* A pattern longer than the text can match nowhere.  Guard once
+           for every engine: the tree/BWT engines are not written for
+           this degenerate case and used to fall through to it. *)
+        if String.length pattern > String.length t.text then []
+        else
+          let config = q.config and fm = t.fm_rev in
+          match q.engine with
+          | M_tree -> M_tree.search ?config ~stats ~obs fm ~pattern ~k
+          | S_tree -> S_tree.search ~use_delta:true ~stats ~obs fm ~pattern ~k
+          | S_tree_no_delta ->
+              S_tree.search ~use_delta:false ~stats ~obs fm ~pattern ~k
+          | Hybrid -> Hybrid.search ~stats fm ~text:t.text ~pattern ~k
+          | Cole -> Cole.search ~stats (Lazy.force t.tree) ~pattern ~k
+          | Amir -> Amir.search ~stats ~pattern ~k t.text
+          | Kangaroo -> Stringmatch.Kangaroo.search ~pattern ~text:t.text ~k
+          | Naive -> Stringmatch.Hamming.search ~pattern ~text:t.text ~k)
+  in
+  let t2 = Obs.Clock.now_ns () in
+  if Obs.enabled obs then begin
+    let fm_delta =
+      match tele_before with
+      | None -> None
+      | Some since ->
+          Some
+            (Fmindex.Fm_index.Telemetry.diff ~since
+               (Fmindex.Fm_index.Telemetry.snapshot ()))
+    in
+    flush_counters obs stats fm_delta;
+    Obs.incr obs "query.count";
+    Obs.add obs "query.hits" (List.length hits)
+  end;
+  let s ns = float_of_int ns *. 1e-9 in
+  {
+    Response.hits;
+    stats;
+    timings = [ ("normalize", s (t1 - t0)); ("search", s (t2 - t1)) ];
+  }
+
+let search ?stats ?config t ~engine ~pattern ~k =
+  let r = run t (Query.make ?config ~engine ~pattern ~k ()) in
+  (match stats with Some into -> Stats.merge ~into r.Response.stats | None -> ());
+  r.Response.hits
 
 let positions ?stats t ~engine ~pattern ~k =
   List.map fst (search ?stats t ~engine ~pattern ~k)

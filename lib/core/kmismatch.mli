@@ -33,6 +33,72 @@ val length : index -> int
 val fm_rev : index -> Fmindex.Fm_index.t
 val suffix_tree : index -> Suffix.Suffix_tree.t
 
+(** {1 Queries and responses}
+
+    The primary entry point is {!run}: a {!Query.t} names the engine,
+    pattern, budget and (optionally) an observability sink; the
+    {!Response.t} carries the hits together with the engine counters and
+    per-phase wall-clock timings of exactly that query.  {!search} and
+    {!positions} are thin compatibility wrappers over {!run}. *)
+
+module Query : sig
+  type t = {
+    engine : engine;  (** which algorithm answers the query *)
+    pattern : string;  (** raw pattern; normalized (case) by {!run} *)
+    k : int;  (** mismatch budget; clamped to [length pattern] *)
+    config : M_tree.config option;
+        (** [M_tree] tuning; ignored by other engines *)
+    obs : Obs.t;
+        (** sink receiving the [query] span, [engine.*]/[fm.*] counters
+            and engine-internal spans; {!Obs.noop} disables all of it *)
+  }
+
+  val make :
+    ?config:M_tree.config ->
+    ?obs:Obs.t ->
+    engine:engine ->
+    pattern:string ->
+    k:int ->
+    unit ->
+    t
+  (** Build a query.  [obs] defaults to {!Obs.noop}, [config] to the
+      engine's own default. *)
+end
+
+module Response : sig
+  type t = {
+    hits : (int * int) list;
+        (** every [(position, distance)] with [distance <= k], ascending
+            by position *)
+    stats : Stats.t;
+        (** engine counters of this query alone (fresh, not shared) *)
+    timings : (string * float) list;
+        (** per-phase wall-clock seconds, in execution order:
+            [("normalize", _); ("search", _)] *)
+  }
+
+  val positions : t -> int list
+  (** The hit positions only. *)
+end
+
+val run : index -> Query.t -> Response.t
+(** Execute one query.  The pattern is normalized (case); raises
+    [Invalid_argument] if it is empty, contains non-ACGT characters, or
+    [k < 0].
+
+    Degenerate budgets are uniform across engines: any [k >= length
+    pattern] is equivalent to [k = length pattern] (every window position
+    is returned at its true distance), and the budget is clamped there
+    internally, so even [k = max_int] is safe.
+
+    When the query's [obs] sink is active, [run] records a ["query"] span
+    (with engine, [k] and [m] as trace args), bumps [query.count] and
+    [query.hits], and flushes the engine's {!Stats} into [engine.*]
+    counters; if {!Fmindex.Fm_index.Telemetry} is also armed, the
+    rank-layer effort of the query lands in [fm.*] counters.  All of
+    these are per-record sums, so per-domain sinks {!Obs.merge} to the
+    sequential totals. *)
+
 val search :
   ?stats:Stats.t ->
   ?config:M_tree.config ->
@@ -41,18 +107,13 @@ val search :
   pattern:string ->
   k:int ->
   (int * int) list
-(** All [(position, distance)] with [distance <= k], ascending by
-    position.  The pattern is normalized (case); raises [Invalid_argument]
-    if it is empty, contains non-ACGT characters, or [k < 0].
-
-    Degenerate budgets are uniform across engines: any [k >= length
-    pattern] is equivalent to [k = length pattern] (every window position
-    is returned at its true distance), and the budget is clamped there
-    internally, so even [k = max_int] is safe. *)
+(** Compatibility wrapper: [run] with a throwaway query, returning the
+    hits and (when [stats] is given) merging the query's counters into
+    it.  Same validation and clamping as {!run}. *)
 
 val positions :
   ?stats:Stats.t -> index -> engine:engine -> pattern:string -> k:int -> int list
-(** Positions only. *)
+(** Positions only (wrapper over {!search}). *)
 
 val save_index : index -> string -> unit
 (** Persist the index (its FM component; ~n/4 bytes).  The suffix tree is

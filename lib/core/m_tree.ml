@@ -28,7 +28,7 @@ type dnode = {
       (* memoized maximal match run hanging below this node *)
 }
 
-let search ?(config = default_config) ?stats fm ~pattern ~k =
+let search ?(config = default_config) ?stats ?(obs = Obs.noop) fm ~pattern ~k =
   if pattern = "" then invalid_arg "M_tree.search: empty pattern";
   if k < 0 then invalid_arg "M_tree.search: negative k";
   String.iter
@@ -90,7 +90,8 @@ let search ?(config = default_config) ?stats fm ~pattern ~k =
     (* delta.(i) lower-bounds the mismatches any window must spend on
        r[i ..]; sound for pruning under *any* alignment at position i. *)
     let delta =
-      if config.use_delta then S_tree.delta_heuristic fm ~pattern
+      if config.use_delta then
+        Obs.span obs "mtree.delta" (fun () -> S_tree.delta_heuristic fm ~pattern)
       else Array.make (m + 2) 0
     in
     let pat_codes = Array.init m (fun i -> Dna.Alphabet.code pattern.[i]) in
@@ -237,7 +238,9 @@ let search ?(config = default_config) ?stats fm ~pattern ~k =
       bump (fun s -> s.derivations <- s.derivations + 1);
       (* [prior.depth < d_star] always holds here (j < m), so this walks
          the stored children/skipped branches of [prior] directly. *)
-      walk_children prior dmiss
+      if Obs.enabled obs then
+        Obs.time obs "mtree.derive" (fun () -> walk_children prior dmiss)
+      else walk_children prior dmiss
 
     (* --- Exploration ------------------------------------------------- *)
     and visit code iv j q parent =
@@ -344,18 +347,19 @@ let search ?(config = default_config) ?stats fm ~pattern ~k =
     in
 
     (* Virtual root: depth 0, full interval (the paper's <-, [1, n+1]>). *)
-    (let los = Array.make 5 0 and his = Array.make 5 0 in
-     bump (fun s -> s.rank_calls <- s.rank_calls + 2);
-     Fm.extend_all fm (Fm.whole fm) ~los ~his;
-     for c = 1 to 4 do
-       if los.(c) < his.(c) then begin
-         let q = if c = pat_code 1 then 0 else 1 in
-         if q <= k && k - q >= delta.(2) then begin
-           if his.(c) - los.(c) >= store_width then
-             ignore (visit c (los.(c), his.(c)) 1 q None)
-           else explore_light (los.(c), his.(c)) 1 q
-         end
-       end
-     done);
+    Obs.span obs "mtree.explore" (fun () ->
+        let los = Array.make 5 0 and his = Array.make 5 0 in
+        bump (fun s -> s.rank_calls <- s.rank_calls + 2);
+        Fm.extend_all fm (Fm.whole fm) ~los ~his;
+        for c = 1 to 4 do
+          if los.(c) < his.(c) then begin
+            let q = if c = pat_code 1 then 0 else 1 in
+            if q <= k && k - q >= delta.(2) then begin
+              if his.(c) - los.(c) >= store_width then
+                ignore (visit c (los.(c), his.(c)) 1 q None)
+              else explore_light (los.(c), his.(c)) 1 q
+            end
+          end
+        done);
     List.sort Hit.compare !results
   end

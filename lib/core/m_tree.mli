@@ -47,6 +47,7 @@ val default_config : config
 val search :
   ?config:config ->
   ?stats:Stats.t ->
+  ?obs:Obs.t ->
   Fmindex.Fm_index.t ->
   pattern:string ->
   k:int ->
@@ -54,4 +55,9 @@ val search :
 (** [search fm_rev ~pattern ~k] returns every [(position, distance)] with
     [distance <= k], sorted by position; [fm_rev] indexes the reverse of
     the target.  Raises [Invalid_argument] on an empty pattern, a pattern
-    with characters outside lowercase [acgt], or negative [k]. *)
+    with characters outside lowercase [acgt], or negative [k].
+
+    [obs] (default {!Obs.noop}) records the [mtree.delta] and
+    [mtree.explore] spans plus a per-derivation [mtree.derive_ns]
+    histogram; with the noop sink the instrumentation costs one branch
+    per scope. *)

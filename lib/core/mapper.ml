@@ -11,9 +11,30 @@ type summary = {
   unique : int;
   ambiguous : int;
   skipped : (int * Kmm_error.t) list;
+  stats : Stats.t;
+  timings : (string * float) list;
 }
 
+let deterministic_summary s = { s with timings = [] }
+
 let default_chunk_size = 16
+
+type options = {
+  engine : Kmismatch.engine;
+  both_strands : bool;
+  domains : int;
+  chunk_size : int;
+  obs : Obs.t;
+}
+
+let default =
+  {
+    engine = Kmismatch.M_tree;
+    both_strands = true;
+    domains = 1;
+    chunk_size = default_chunk_size;
+    obs = Obs.noop;
+  }
 
 (* Classify a read the engines cannot process, so one bad record degrades
    to a [skipped] entry instead of an exception that aborts the batch.
@@ -45,11 +66,15 @@ let validate_read ~text_len sequence =
 (* Map one read: all forward hits, then all reverse-complement hits, in
    the order the engine reports them.  Pure with respect to the index,
    so reads can be fanned out across domains freely. *)
-let map_one ?stats ~engine ~both_strands index ~k (read_id, sequence) =
+let map_one ~stats ~obs ~engine ~both_strands index ~k (read_id, sequence) =
   let search strand pattern =
+    let r =
+      Kmismatch.run index (Kmismatch.Query.make ~obs ~engine ~pattern ~k ())
+    in
+    Stats.merge ~into:stats r.Kmismatch.Response.stats;
     List.map
       (fun (pos, distance) -> { read_id; pos; strand; distance })
-      (Kmismatch.search ?stats index ~engine ~pattern ~k)
+      r.Kmismatch.Response.hits
   in
   let fwd = search `Forward sequence in
   let rev =
@@ -65,10 +90,11 @@ let map_one ?stats ~engine ~both_strands index ~k (read_id, sequence) =
   in
   fwd @ rev
 
-let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
-    ?(chunk_size = default_chunk_size) ?stats index ~reads ~k =
-  if domains < 1 then invalid_arg "Mapper.map_reads: domains must be >= 1";
-  if chunk_size < 1 then invalid_arg "Mapper.map_reads: chunk_size must be >= 1";
+let run opts index ~reads ~k =
+  let { engine; both_strands; domains; chunk_size; obs } = opts in
+  if domains < 1 then invalid_arg "Mapper.run: domains must be >= 1";
+  if chunk_size < 1 then invalid_arg "Mapper.run: chunk_size must be >= 1";
+  let t0 = Obs.Clock.now_ns () in
   let reads = Array.of_list reads in
   let n = Array.length reads in
   let bounds = Work_pool.chunks ~total:n ~chunk_size in
@@ -79,13 +105,12 @@ let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
      domains at once is unsafe). *)
   if domains > 1 && engine = Kmismatch.Cole then
     ignore (Kmismatch.suffix_tree index);
-  (* Per-domain counters, merged (commutatively) into the caller's at the
-     end, so the reported totals match a sequential run exactly. *)
-  let worker_stats =
-    match stats with
-    | None -> [||]
-    | Some _ -> Array.init domains (fun _ -> Stats.create ())
-  in
+  (* Per-domain counters and sinks, merged in worker-index order at the
+     end, so the reported totals match a sequential run exactly.
+     ([Obs.fork] of the noop sink is noop: observability off costs one
+     branch per read.) *)
+  let worker_stats = Array.init domains (fun _ -> Stats.create ()) in
+  let worker_obs = Array.init domains (fun _ -> Obs.fork obs) in
   (* Slot [i] receives read [i]'s hits — or its skip reason — no matter
      which domain computed them: the merge (and therefore the skipped
      list) is deterministic by construction.  A fault in one read never
@@ -95,28 +120,48 @@ let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
   let per_read = Array.make n [] in
   let skip_slot = Array.make n None in
   let text_len = Kmismatch.length index in
+  let t1 = Obs.Clock.now_ns () in
   Work_pool.with_pool ~domains (fun pool ->
-      Work_pool.run pool ~tasks:(Array.length bounds) (fun ~worker ~task ->
-          let stats =
-            if worker_stats = [||] then None else Some worker_stats.(worker)
-          in
+      Work_pool.run ~obs:worker_obs pool ~tasks:(Array.length bounds)
+        (fun ~worker ~task ->
+          let stats = worker_stats.(worker) in
+          let o = worker_obs.(worker) in
           let start, len = bounds.(task) in
           for i = start to start + len - 1 do
             let _, sequence = reads.(i) in
             match validate_read ~text_len sequence with
-            | Error e -> skip_slot.(i) <- Some e
+            | Error e ->
+                skip_slot.(i) <- Some e;
+                Obs.incr o "map.reads_skipped"
             | Ok () -> (
-                match map_one ?stats ~engine ~both_strands index ~k reads.(i) with
-                | hits -> per_read.(i) <- hits
+                let map () =
+                  map_one ~stats ~obs:o ~engine ~both_strands index ~k
+                    reads.(i)
+                in
+                match
+                  if Obs.enabled o then Obs.time o "map.read" map else map ()
+                with
+                | hits ->
+                    per_read.(i) <- hits;
+                    if Obs.enabled o then begin
+                      Obs.incr o "map.reads";
+                      (* Hit multiplicity is a function of the input
+                         alone — the histogram merges bit-for-bit across
+                         any domain count. *)
+                      Obs.record o "map.read_hits" (List.length hits)
+                    end
                 | exception e ->
                     (* An engine exception on a validated read is a bug,
                        but it still only costs this one read. *)
+                    Obs.incr o "map.reads_failed";
                     skip_slot.(i) <-
                       Some (Kmm_error.Internal (Printexc.to_string e)))
           done));
-  (match stats with
-  | None -> ()
-  | Some dst -> Array.iter (fun s -> Stats.merge ~into:dst s) worker_stats);
+  let t2 = Obs.Clock.now_ns () in
+  let stats = Stats.create () in
+  Array.iter (fun s -> Stats.merge ~into:stats s) worker_stats;
+  (* Worker-index order: deterministic merge of deterministic metrics. *)
+  Array.iter (fun o -> Obs.merge ~into:obs o) worker_obs;
   let mapped = ref 0 and unique = ref 0 and ambiguous = ref 0 in
   Array.iteri
     (fun i hits ->
@@ -140,6 +185,16 @@ let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
       (fun a b -> compare (a.read_id, a.pos, a.strand) (b.read_id, b.pos, b.strand))
       (List.concat (Array.to_list per_read))
   in
+  let t3 = Obs.Clock.now_ns () in
+  let s ns = float_of_int ns *. 1e-9 in
+  let timings =
+    [ ("prepare", s (t1 - t0)); ("search", s (t2 - t1)); ("merge", s (t3 - t2)) ]
+  in
+  if Obs.enabled obs then begin
+    Obs.record obs "map.prepare_ns" (t1 - t0);
+    Obs.record obs "map.search_ns" (t2 - t1);
+    Obs.record obs "map.merge_ns" (t3 - t2)
+  end;
   ( hits,
     {
       total = n;
@@ -147,7 +202,22 @@ let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
       unique = !unique;
       ambiguous = !ambiguous;
       skipped = !skipped;
+      stats;
+      timings;
     } )
+
+let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
+    ?(chunk_size = default_chunk_size) ?stats index ~reads ~k =
+  if domains < 1 then invalid_arg "Mapper.map_reads: domains must be >= 1";
+  if chunk_size < 1 then invalid_arg "Mapper.map_reads: chunk_size must be >= 1";
+  let hits, summary =
+    run { default with engine; both_strands; domains; chunk_size } index ~reads
+      ~k
+  in
+  (match stats with
+  | Some into -> Stats.merge ~into summary.stats
+  | None -> ());
+  (hits, summary)
 
 let best_hits hits =
   let best = Hashtbl.create 64 in

@@ -21,12 +21,80 @@ type summary = {
           oversize sequence, or an engine exception) lands here instead
           of aborting the whole batch; the surviving reads' hits are
           unaffected. *)
+  stats : Stats.t;
+      (** engine counters summed over the whole batch; per-domain
+          accumulators merged in worker order, equal to a sequential
+          run's totals *)
+  timings : (string * float) list;
+      (** per-phase wall-clock seconds, in execution order:
+          [("prepare", _); ("search", _); ("merge", _)].  Wall-clock
+          values vary between runs — strip them with
+          {!deterministic_summary} before byte-identity comparisons. *)
 }
+
+val deterministic_summary : summary -> summary
+(** The summary with its (nondeterministic) [timings] dropped; every
+    remaining field is identical across all [domains]/[chunk_size]
+    combinations, so this is the form the seq≡par tests compare. *)
 
 val default_chunk_size : int
 (** Reads per pool task when sharding a batch (currently 16): small
     enough to load-balance engines whose per-read cost varies, large
     enough to amortize queue traffic. *)
+
+(** {1 Options and the primary entry point} *)
+
+type options = {
+  engine : Kmismatch.engine;  (** search engine; [M_tree] in {!default} *)
+  both_strands : bool;
+      (** also search the reverse complement (default true) *)
+  domains : int;  (** {!Work_pool} size; 1 = sequential (default) *)
+  chunk_size : int;  (** reads per pool task *)
+  obs : Obs.t;
+      (** observability sink; {!Obs.noop} (the default) disables all
+          recording at the cost of one branch per read *)
+}
+
+val default : options
+(** [{ engine = M_tree; both_strands = true; domains = 1; chunk_size =
+    default_chunk_size; obs = Obs.noop }] — override fields with
+    [{ default with ... }]. *)
+
+val run :
+  options ->
+  Kmismatch.index ->
+  reads:(int * string) list ->
+  k:int ->
+  hit list * summary
+(** Map every [(id, sequence)] read; with [both_strands] the reverse
+    complement is searched too and hits are reported on the forward
+    coordinate system.  Hits are sorted by read id, then position.
+
+    [domains] shards the batch across a {!Work_pool} of that many OCaml
+    domains in [chunk_size]-read chunks.  The FM-index is immutable, so
+    workers share it without copying.  {b Determinism guarantee:} hits
+    and {!deterministic_summary} are byte-identical for every
+    [domains]/[chunk_size] combination — each read's hits land in a slot
+    indexed by read position and the merge never depends on scheduling;
+    [domains = 1] {e is} the sequential path (no domain is spawned).
+
+    {b Observability:} when [obs] is active, every worker records into
+    its own {!Obs.fork} of the sink, merged back in worker-index order
+    after the pool joins.  Per read: a [map.read_ns] latency histogram
+    entry, a [map.read_hits] histogram entry (hit multiplicity — a
+    function of the input alone, so it merges bit-for-bit across any
+    domain count, as do the [map.reads]/[map.reads_skipped]/
+    [map.reads_failed] and [engine.*]/[fm.*] counters), plus the
+    {!Work_pool} [pool.*] metrics and whole-batch [map.prepare_ns]/
+    [map.search_ns]/[map.merge_ns] phase histograms.
+
+    {b Fail-soft:} a read the engines cannot process is recorded in
+    [summary.skipped] with a typed reason and costs nothing but itself —
+    the batch never aborts, the per-read slots of the surviving reads
+    are byte-identical to a run without the bad read, and the skipped
+    list itself is deterministic across every [domains]/[chunk_size]
+    combination.
+    @raise Invalid_argument if [domains < 1] or [chunk_size < 1]. *)
 
 val map_reads :
   ?engine:Kmismatch.engine ->
@@ -38,29 +106,11 @@ val map_reads :
   reads:(int * string) list ->
   k:int ->
   hit list * summary
-(** Map every [(id, sequence)] read; with [both_strands] (default true)
-    the reverse complement is searched too and hits are reported on the
-    forward coordinate system.  Hits are sorted by read id, then
-    position.  Engine defaults to [M_tree].
-
-    [domains] (default 1) shards the batch across a {!Work_pool} of that
-    many OCaml domains in [chunk_size]-read chunks (default
-    {!default_chunk_size}).  The FM-index is immutable, so workers share
-    it without copying.  {b Determinism guarantee:} hits and summary are
-    byte-identical for every [domains]/[chunk_size] combination — each
-    read's hits land in a slot indexed by read position and the merge
-    never depends on scheduling; [domains = 1] {e is} the sequential
-    path (no domain is spawned).  [stats] accumulates engine counters:
-    each domain keeps its own {!Stats.t} and they are summed into
-    [stats] at the end, yielding the same totals as a sequential run.
-
-    {b Fail-soft:} a read the engines cannot process is recorded in
-    [summary.skipped] with a typed reason and costs nothing but itself —
-    the batch never aborts, the per-read slots of the surviving reads
-    are byte-identical to a run without the bad read, and the skipped
-    list itself is deterministic across every [domains]/[chunk_size]
-    combination.
-    @raise Invalid_argument if [domains < 1] or [chunk_size < 1]. *)
+(** Compatibility wrapper over {!run} with the pre-{!options} optional
+    arguments ([domains] defaults to 1, [engine] to [M_tree]); [stats]
+    (when given) receives the batch's merged counters in addition to
+    [summary.stats].  Semantics otherwise identical to {!run} with no
+    sink. *)
 
 val best_hits : hit list -> hit list
 (** Keep only minimal-distance hits per read (ties all kept). *)

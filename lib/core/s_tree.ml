@@ -23,7 +23,7 @@ let delta_heuristic fm ~pattern =
   done;
   delta
 
-let search ?(use_delta = true) ?stats fm ~pattern ~k =
+let search ?(use_delta = true) ?stats ?(obs = Obs.noop) fm ~pattern ~k =
   if pattern = "" then invalid_arg "S_tree.search: empty pattern";
   if k < 0 then invalid_arg "S_tree.search: negative k";
   String.iter
@@ -38,7 +38,11 @@ let search ?(use_delta = true) ?stats fm ~pattern ~k =
   let bump (f : Stats.t -> unit) = match stats with Some s -> f s | None -> () in
   if m > n then []
   else begin
-    let delta = if use_delta then delta_heuristic fm ~pattern else [||] in
+    let delta =
+      if use_delta then
+        Obs.span obs "stree.delta" (fun () -> delta_heuristic fm ~pattern)
+      else [||]
+    in
     let pat_codes = Array.init m (fun i -> Dna.Alphabet.code pattern.[i]) in
     let results = ref [] in
     let locate_buf = ref [||] in
@@ -78,6 +82,6 @@ let search ?(use_delta = true) ?stats fm ~pattern ~k =
         if !died then bump (fun s -> s.leaves <- s.leaves + 1)
       end
     in
-    expand (Fm.whole fm) 0 0;
+    Obs.span obs "stree.explore" (fun () -> expand (Fm.whole fm) 0 0);
     List.sort Hit.compare !results
   end

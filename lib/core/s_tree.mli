@@ -16,6 +16,7 @@ val delta_heuristic : Fmindex.Fm_index.t -> pattern:string -> int array
 val search :
   ?use_delta:bool ->
   ?stats:Stats.t ->
+  ?obs:Obs.t ->
   Fmindex.Fm_index.t ->
   pattern:string ->
   k:int ->
@@ -24,4 +25,7 @@ val search :
     [distance <= k], sorted by position, where [fm_rev] indexes the
     *reverse* of the target.  [use_delta] (default true) switches the
     pruning heuristic.  Raises [Invalid_argument] on an empty pattern or
-    negative [k]. *)
+    negative [k].
+
+    [obs] (default {!Obs.noop}) records the [stree.delta] and
+    [stree.explore] spans. *)

@@ -29,7 +29,25 @@ type job = {
   mutable next : int;  (* next task id to hand out *)
   mutable finished : int;  (* task ids fully executed *)
   mutable error : (int * exn) option;  (* first failing task id + exception *)
+  obs : Obs.t array;  (* per-worker sinks; [||] = observability off *)
+  submitted_ns : int;  (* monotonic submission instant, for queue-wait *)
 }
+
+(* The sink worker [w] records into; never shared across domains. *)
+let obs_of j ~worker =
+  if worker < Array.length j.obs then j.obs.(worker) else Obs.noop
+
+(* Instrumented task execution: queue-wait histogram (time from job
+   submission to the pull), a task counter, and a per-task duration
+   histogram.  With observability off this is exactly [body]. *)
+let exec_task j ~worker ~task =
+  let o = obs_of j ~worker in
+  if Obs.enabled o then begin
+    Obs.record o "pool.queue_wait_ns" (Obs.Clock.now_ns () - j.submitted_ns);
+    Obs.incr o "pool.tasks";
+    Obs.time o "pool.task" (fun () -> j.body ~worker ~task)
+  end
+  else j.body ~worker ~task
 
 type t = {
   lock : Mutex.t;
@@ -51,7 +69,7 @@ let drain_tasks t j ~worker =
     let task = j.next in
     j.next <- j.next + 1;
     Mutex.unlock t.lock;
-    let error = match j.body ~worker ~task with
+    let error = match exec_task j ~worker ~task with
       | () -> None
       | exception e -> Some (task, e)
     in
@@ -98,18 +116,23 @@ let create ?domains () =
         Domain.spawn (fun () -> worker_loop t ~worker:(i + 1)));
   t
 
-let run t ~tasks body =
+let run ?(obs = [||]) t ~tasks body =
   if tasks < 0 then invalid_arg "Work_pool.run: negative task count";
   if t.stop then invalid_arg "Work_pool.run: pool is shut down";
+  let submitted_ns =
+    if Array.exists Obs.enabled obs then Obs.Clock.now_ns () else 0
+  in
   if tasks = 0 then ()
   else if t.n = 1 then begin
     (* Sequential special case: inline, in order, no locking — but with
        the same failure semantics as the parallel path: a raising task
        does not stop the remaining tasks, and the first failure surfaces
        as [Task_failed] with its task id once the job has drained. *)
+    let j = { body; total = tasks; next = 0; finished = 0; error = None;
+              obs; submitted_ns } in
     let error = ref None in
     for task = 0 to tasks - 1 do
-      match body ~worker:0 ~task with
+      match exec_task j ~worker:0 ~task with
       | () -> ()
       | exception e -> if !error = None then error := Some (task, e)
     done;
@@ -123,7 +146,8 @@ let run t ~tasks body =
       Mutex.unlock t.lock;
       invalid_arg "Work_pool.run: a job is already running (re-entrant run?)"
     end;
-    let j = { body; total = tasks; next = 0; finished = 0; error = None } in
+    let j = { body; total = tasks; next = 0; finished = 0; error = None;
+              obs; submitted_ns } in
     t.job <- Some j;
     Condition.broadcast t.work_ready;
     (* The submitting domain participates as worker 0. *)

@@ -36,7 +36,8 @@ val create : ?domains:int -> unit -> t
 val domains : t -> int
 (** Number of domains (including the caller) jobs run on. *)
 
-val run : t -> tasks:int -> (worker:int -> task:int -> unit) -> unit
+val run :
+  ?obs:Obs.t array -> t -> tasks:int -> (worker:int -> task:int -> unit) -> unit
 (** [run t ~tasks body] executes [body ~worker ~task] once for every
     [task] in [0 .. tasks - 1] across the pool and returns when all have
     finished.  [worker] is a stable id in [0 .. domains t - 1] (0 is the
@@ -47,6 +48,14 @@ val run : t -> tasks:int -> (worker:int -> task:int -> unit) -> unit
     caller as {!Task_failed}, carrying the offending task id.  With
     [domains t = 1] the tasks run inline, in order, with the same
     failure semantics.  The pool remains usable after a failed job.
+
+    [obs] (default [[||]], observability off) supplies one sink per
+    worker, indexed by worker id — per-domain sinks, never shared, to be
+    {!Obs.merge}d by the caller after the job.  Worker [w] records a
+    [pool.queue_wait_ns] histogram value (submission-to-pull latency), a
+    [pool.tasks] counter bump, and a [pool.task_ns] duration histogram
+    entry for every task it executes.  Workers beyond the array length
+    record nothing.
     @raise Invalid_argument if called re-entrantly from a task, after
     [shutdown], or with [tasks < 0].
     @raise Task_failed if any task raised. *)

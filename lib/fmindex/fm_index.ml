@@ -19,6 +19,58 @@ type t = {
 let sigma = Dna.Alphabet.sigma
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry                                                            *)
+
+(* Hot-path accounting for the observability layer: how many rank
+   primitives ran, how many interleaved Occ blocks they decoded, and how
+   much LF walking [locate] did.  Counters live in domain-local storage,
+   so concurrent engines never contend and per-domain deltas merge to
+   the sequential totals (they are sums).  The whole hook sits behind
+   one global flag: disabled (the default), every instrumented entry
+   point pays a single load-and-branch; [compiled = false] removes even
+   that (the conditional becomes a structural constant and the hooks are
+   dead code). *)
+module Telemetry = struct
+  type counters = {
+    mutable rank_ops : int;
+    mutable block_decodes : int;
+    mutable locate_walks : int;
+    mutable locate_steps : int;
+  }
+
+  (* The compile-out switch: a structural constant, so with [false] the
+     optimizer drops every hook body. *)
+  let compiled = true
+
+  let flag = Atomic.make false
+  let set_enabled b = Atomic.set flag b
+  let is_enabled () = compiled && Atomic.get flag
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        { rank_ops = 0; block_decodes = 0; locate_walks = 0; locate_steps = 0 })
+
+  let cell () = Domain.DLS.get key
+
+  let snapshot () =
+    let c = cell () in
+    {
+      rank_ops = c.rank_ops;
+      block_decodes = c.block_decodes;
+      locate_walks = c.locate_walks;
+      locate_steps = c.locate_steps;
+    }
+
+  let diff ~since c =
+    {
+      rank_ops = c.rank_ops - since.rank_ops;
+      block_decodes = c.block_decodes - since.block_decodes;
+      locate_walks = c.locate_walks - since.locate_walks;
+      locate_steps = c.locate_steps - since.locate_steps;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
 (* Marked-row bitvector                                                 *)
 
 let pop8 = Array.init 256 (fun b ->
@@ -120,6 +172,12 @@ let whole t = (0, Occ.length t.occ)
 let extend t c (lo, hi) =
   if c <= 0 || c >= sigma then None
   else begin
+    if Telemetry.is_enabled () then begin
+      let tc = Telemetry.cell () in
+      tc.Telemetry.rank_ops <- tc.Telemetry.rank_ops + 1;
+      tc.Telemetry.block_decodes <-
+        (tc.Telemetry.block_decodes + if hi = lo + 1 then 1 else 2)
+    end;
     let r_lo, r_hi = Occ.rank_pair t.occ c lo hi in
     let lo' = t.c_array.(c) + r_lo in
     let hi' = t.c_array.(c) + r_hi in
@@ -167,17 +225,28 @@ let count t pat =
       let m = Array.length codes in
       if m = 0 then Occ.length t.occ
       else begin
+        let measured = Telemetry.is_enabled () in
+        let ops = ref 0 and decodes = ref 0 in
         let lo = ref 0 and hi = ref (Occ.length t.occ) in
         let pr = Array.make 2 0 in
         let i = ref (m - 1) in
         while !i >= 0 && !lo < !hi do
           let c = Array.unsafe_get codes !i in
+          if measured then begin
+            Stdlib.incr ops;
+            decodes := !decodes + (if !hi = !lo + 1 then 1 else 2)
+          end;
           Occ.rank_pair_into_unsafe t.occ c !lo !hi pr;
           let cc = Array.unsafe_get t.c_array c in
           lo := cc + Array.unsafe_get pr 0;
           hi := cc + Array.unsafe_get pr 1;
           decr i
         done;
+        if measured then begin
+          let tc = Telemetry.cell () in
+          tc.Telemetry.rank_ops <- tc.Telemetry.rank_ops + !ops;
+          tc.Telemetry.block_decodes <- tc.Telemetry.block_decodes + !decodes
+        end;
         if !hi > !lo then !hi - !lo else 0
       end
 
@@ -186,11 +255,27 @@ let lf t row =
   t.c_array.(c) + r
 
 let position_of_row t row =
-  let rec walk row steps =
-    if mark_test t.marks row then t.samples.(mark_rank t row) + steps
-    else walk (lf t row) (steps + 1)
-  in
-  walk row 0
+  if Telemetry.is_enabled () then begin
+    let row = ref row and steps = ref 0 in
+    while not (mark_test t.marks !row) do
+      row := lf t !row;
+      Stdlib.incr steps
+    done;
+    let tc = Telemetry.cell () in
+    tc.Telemetry.locate_walks <- tc.Telemetry.locate_walks + 1;
+    tc.Telemetry.locate_steps <- tc.Telemetry.locate_steps + !steps;
+    (* Each LF step is one rank over the block holding its row. *)
+    tc.Telemetry.rank_ops <- tc.Telemetry.rank_ops + !steps;
+    tc.Telemetry.block_decodes <- tc.Telemetry.block_decodes + !steps;
+    t.samples.(mark_rank t !row) + !steps
+  end
+  else begin
+    let rec walk row steps =
+      if mark_test t.marks row then t.samples.(mark_rank t row) + steps
+      else walk (lf t row) (steps + 1)
+    in
+    walk row 0
+  end
 
 let locate_into t (lo, hi) dst =
   let rows = Occ.length t.occ in
@@ -232,6 +317,14 @@ let extend_all t (lo, hi) ~los ~his =
     invalid_arg "Fm_index.extend_all: interval out of range";
   if Array.length los <> sigma || Array.length his <> sigma then
     invalid_arg "Fm_index.extend_all: bad dst size";
+  if Telemetry.is_enabled () then begin
+    let tc = Telemetry.cell () in
+    tc.Telemetry.rank_ops <- tc.Telemetry.rank_ops + 1;
+    (* The pair kernel decodes one block for a width-1 interval, two
+       otherwise. *)
+    tc.Telemetry.block_decodes <-
+      (tc.Telemetry.block_decodes + if hi = lo + 1 then 1 else 2)
+  end;
   Occ.rank_all_pair_unsafe t.occ lo hi los his;
   for c = 0 to sigma - 1 do
     let base = Array.unsafe_get t.c_array c in

@@ -56,6 +56,44 @@ val find_all : t -> string -> int list
 (** [search] then [locate]; sorted positions of the pattern.  Invalid
     patterns (outside ACGT after case folding) yield []. *)
 
+(** {1 Telemetry}
+
+    Hot-path counters for the observability layer ([lib/obs]): rank
+    primitives executed, interleaved Occ blocks decoded, and LF-walk
+    effort spent by locate.  Counters are kept in {e domain-local}
+    storage so concurrent engines never contend and per-domain deltas
+    merge to the sequential totals.  The hook is disabled by default;
+    when disabled, every instrumented entry point pays one
+    load-and-branch (measured < 2% end to end, see EXPERIMENTS.md), and
+    flipping the [compiled] constant in the implementation removes even
+    that. *)
+module Telemetry : sig
+  type counters = {
+    mutable rank_ops : int;
+        (** rank primitives: one per {!extend}/{!extend_all} call, one
+            per backward-search step of {!count}, one per LF step of a
+            locate walk *)
+    mutable block_decodes : int;
+        (** interleaved Occ blocks decoded (width-1 intervals decode one
+            block, general intervals two) *)
+    mutable locate_walks : int;  (** {!locate}d rows (LF walks started) *)
+    mutable locate_steps : int;  (** total LF steps across those walks *)
+  }
+
+  val set_enabled : bool -> unit
+  (** Globally enable/disable the hook.  Set it {e before} spawning
+      worker domains; the flag is a process-wide atomic. *)
+
+  val is_enabled : unit -> bool
+
+  val snapshot : unit -> counters
+  (** A copy of the calling domain's counters.  Callers measure a region
+      by taking a snapshot before and after and {!diff}ing. *)
+
+  val diff : since:counters -> counters -> counters
+  (** [diff ~since now] is the per-field difference [now - since]. *)
+end
+
 val space_report : t -> (string * int) list
 (** Named byte sizes of the index components, one entry per owned buffer
     (packed rank blocks, SA mark bitvector + rank directory, SA samples,

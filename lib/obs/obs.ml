@@ -1,0 +1,436 @@
+(* Zero-dependency observability: monotonic spans, log-bucketed mergeable
+   histograms, named counters, Chrome-trace and Prometheus exporters.
+   See obs.mli for the contracts; DESIGN.md documents the metric schema
+   shared by the engines, the mapper, the work pool and the CLI. *)
+
+module Clock = struct
+  external now_ns : unit -> int = "kmm_obs_now_ns" [@@noalloc]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                            *)
+
+module Histogram = struct
+  (* HDR-style log-linear buckets, base 2, [precision] = 5 bits: values
+     below [2 * sub_count] land in exact unit buckets; above, each
+     power-of-two octave is split into [sub_count] equal sub-buckets, so
+     the bucket holding a value v is never wider than v / 32 (3.125%
+     relative error).  The bucket array is a plain int array, so [merge]
+     is element-wise addition — exactly the multiset union, bit for bit,
+     regardless of how the recordings were sharded. *)
+
+  let precision = 5
+  let sub_count = 1 lsl precision (* 32 *)
+
+  (* Highest octave: OCaml ints are 63-bit, msb <= 62. *)
+  let nbuckets = ((62 - precision + 2) * sub_count) (* 1888 *)
+
+  type t = {
+    counts : int array;
+    mutable total : int;
+    mutable sum : int;
+    mutable vmin : int; (* exact; max_int when empty *)
+    mutable vmax : int; (* exact; -1 when empty *)
+  }
+
+  let create () =
+    { counts = Array.make nbuckets 0; total = 0; sum = 0; vmin = max_int; vmax = -1 }
+
+  let clear t =
+    Array.fill t.counts 0 nbuckets 0;
+    t.total <- 0;
+    t.sum <- 0;
+    t.vmin <- max_int;
+    t.vmax <- -1
+
+  (* Position of the highest set bit of [v >= 1] (0-based). *)
+  let msb v =
+    let r = ref 0 and v = ref v in
+    if !v lsr 32 <> 0 then (r := !r + 32; v := !v lsr 32);
+    if !v lsr 16 <> 0 then (r := !r + 16; v := !v lsr 16);
+    if !v lsr 8 <> 0 then (r := !r + 8; v := !v lsr 8);
+    if !v lsr 4 <> 0 then (r := !r + 4; v := !v lsr 4);
+    if !v lsr 2 <> 0 then (r := !r + 2; v := !v lsr 2);
+    if !v lsr 1 <> 0 then incr r;
+    !r
+
+  let bucket_of v =
+    if v < 2 * sub_count then v
+    else begin
+      let e = msb v in
+      let shift = e - precision in
+      ((shift + 1) * sub_count) + ((v lsr shift) - sub_count)
+    end
+
+  (* Inclusive [low, high] value range of bucket [idx] — the exact
+     inverse of [bucket_of]. *)
+  let bucket_bounds idx =
+    if idx < 2 * sub_count then (idx, idx)
+    else begin
+      let octave = idx / sub_count in
+      let sub = idx mod sub_count in
+      let shift = octave - 1 in
+      let low = (sub_count + sub) lsl shift in
+      (low, low + (1 lsl shift) - 1)
+    end
+
+  let record t v =
+    let v = if v < 0 then 0 else v in
+    let idx = bucket_of v in
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum + v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+
+  let count t = t.total
+  let sum t = t.sum
+  let min_value t = if t.total = 0 then 0 else t.vmin
+  let max_value t = if t.total = 0 then 0 else t.vmax
+
+  let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+  let quantile t q =
+    if t.total = 0 then 0
+    else begin
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      (* The q-quantile is the value of the ceil(q * total)-th recording
+         (1-based) in sorted order; we answer with the upper bound of the
+         bucket that holds it. *)
+      let rank = int_of_float (ceil (q *. float_of_int t.total)) in
+      let rank = if rank < 1 then 1 else rank in
+      let acc = ref 0 and idx = ref 0 in
+      while !acc < rank && !idx < nbuckets do
+        acc := !acc + t.counts.(!idx);
+        incr idx
+      done;
+      let hi = snd (bucket_bounds (!idx - 1)) in
+      (* Never overshoot the exact maximum (the last bucket may extend
+         beyond every recorded value). *)
+      if hi > t.vmax then t.vmax else hi
+    end
+
+  let merge ~into src =
+    for i = 0 to nbuckets - 1 do
+      into.counts.(i) <- into.counts.(i) + src.counts.(i)
+    done;
+    into.total <- into.total + src.total;
+    into.sum <- into.sum + src.sum;
+    if src.vmin < into.vmin then into.vmin <- src.vmin;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
+
+  let copy t =
+    {
+      counts = Array.copy t.counts;
+      total = t.total;
+      sum = t.sum;
+      vmin = t.vmin;
+      vmax = t.vmax;
+    }
+
+  let equal a b =
+    a.total = b.total && a.sum = b.sum
+    && (a.total = 0 || (a.vmin = b.vmin && a.vmax = b.vmax))
+    && a.counts = b.counts
+
+  let fold_buckets f acc t =
+    let acc = ref acc in
+    for i = 0 to nbuckets - 1 do
+      if t.counts.(i) > 0 then begin
+        let low, high = bucket_bounds i in
+        acc := f !acc ~low ~high ~count:t.counts.(i)
+      end
+    done;
+    !acc
+
+  let buckets t =
+    List.rev
+      (fold_buckets (fun acc ~low ~high ~count -> (low, high, count) :: acc) [] t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                                 *)
+
+type event = {
+  ev_name : string;
+  ev_tid : int;
+  ev_ts : int; (* monotonic ns *)
+  ev_dur : int; (* ns; -1 for an instant event *)
+  ev_args : (string * string) list;
+}
+
+type state = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+  trace : bool;
+  mutable events : event list; (* newest first *)
+  mutable nevents : int;
+}
+
+type t = Noop | Active of state
+
+let max_trace_events = 1_000_000
+
+let noop = Noop
+
+let create ?(trace = false) () =
+  Active
+    {
+      counters = Hashtbl.create 32;
+      hists = Hashtbl.create 32;
+      trace;
+      events = [];
+      nevents = 0;
+    }
+
+let enabled = function Noop -> false | Active _ -> true
+let tracing = function Noop -> false | Active s -> s.trace
+let fork = function Noop -> Noop | Active s -> create ~trace:s.trace ()
+
+(* --- counters ------------------------------------------------------- *)
+
+let counter_cell s name =
+  match Hashtbl.find_opt s.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add s.counters name r;
+      r
+
+let add t name by =
+  match t with Noop -> () | Active s -> (
+    let r = counter_cell s name in
+    r := !r + by)
+
+let incr ?(by = 1) t name = add t name by
+
+let counter_value t name =
+  match t with
+  | Noop -> 0
+  | Active s -> ( match Hashtbl.find_opt s.counters name with Some r -> !r | None -> 0)
+
+let counters t =
+  match t with
+  | Noop -> []
+  | Active s ->
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) s.counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- histograms ----------------------------------------------------- *)
+
+let hist_cell s name =
+  match Hashtbl.find_opt s.hists name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add s.hists name h;
+      h
+
+let record t name v =
+  match t with Noop -> () | Active s -> Histogram.record (hist_cell s name) v
+
+let histogram t name =
+  match t with Noop -> None | Active s -> Hashtbl.find_opt s.hists name
+
+let histograms t =
+  match t with
+  | Noop -> []
+  | Active s ->
+      Hashtbl.fold (fun name h acc -> (name, h) :: acc) s.hists []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- spans and events ------------------------------------------------ *)
+
+let push_event s ev =
+  if s.nevents < max_trace_events then begin
+    s.events <- ev :: s.events;
+    s.nevents <- s.nevents + 1
+  end
+  else begin
+    let r = counter_cell s "obs.trace_dropped" in
+    r := !r + 1
+  end
+
+let event ?(args = []) t name =
+  match t with
+  | Noop -> ()
+  | Active s ->
+      if s.trace then
+        push_event s
+          {
+            ev_name = name;
+            ev_tid = (Domain.self () :> int);
+            ev_ts = Clock.now_ns ();
+            ev_dur = -1;
+            ev_args = args;
+          }
+
+let time t name f =
+  match t with
+  | Noop -> f ()
+  | Active s ->
+      let t0 = Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () -> Histogram.record (hist_cell s (name ^ "_ns")) (Clock.now_ns () - t0))
+        f
+
+let span ?(args = []) t name f =
+  match t with
+  | Noop -> f ()
+  | Active s ->
+      let t0 = Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = Clock.now_ns () in
+          Histogram.record (hist_cell s (name ^ "_ns")) (t1 - t0);
+          if s.trace then
+            push_event s
+              {
+                ev_name = name;
+                ev_tid = (Domain.self () :> int);
+                ev_ts = t0;
+                ev_dur = t1 - t0;
+                ev_args = args;
+              })
+        f
+
+(* --- merge ----------------------------------------------------------- *)
+
+let merge ~into src =
+  match (into, src) with
+  | Noop, _ | _, Noop -> ()
+  | Active dst, Active s ->
+      Hashtbl.iter
+        (fun name r ->
+          let cell = counter_cell dst name in
+          cell := !cell + !r)
+        s.counters;
+      Hashtbl.iter
+        (fun name h -> Histogram.merge ~into:(hist_cell dst name) h)
+        s.hists;
+      if dst.trace then
+        (* Newest-first lists concatenate src after dst; the exporter
+           sorts by timestamp, so ordering here is immaterial. *)
+        List.iter (fun ev -> push_event dst ev) s.events
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_trace ?(process_name = "kmm") t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf line
+  in
+  emit
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+        \"args\":{\"name\":\"%s\"}}"
+       (json_escape process_name));
+  (match t with
+  | Noop -> ()
+  | Active s ->
+      let events =
+        List.sort (fun a b -> compare (a.ev_ts, a.ev_dur) (b.ev_ts, b.ev_dur))
+          s.events
+      in
+      (* Rebase timestamps so traces start near 0 regardless of uptime. *)
+      let t0 = match events with [] -> 0 | e :: _ -> e.ev_ts in
+      let args_json args =
+        if args = [] then ""
+        else
+          Printf.sprintf ",\"args\":{%s}"
+            (String.concat ","
+               (List.map
+                  (fun (k, v) ->
+                    Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+                  args))
+      in
+      List.iter
+        (fun ev ->
+          let ts_us = float_of_int (ev.ev_ts - t0) /. 1e3 in
+          if ev.ev_dur < 0 then
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"kmm\",\"ph\":\"i\",\"s\":\"t\",\
+                  \"ts\":%.3f,\"pid\":1,\"tid\":%d%s}"
+                 (json_escape ev.ev_name) ts_us ev.ev_tid (args_json ev.ev_args))
+          else
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"kmm\",\"ph\":\"X\",\"ts\":%.3f,\
+                  \"dur\":%.3f,\"pid\":1,\"tid\":%d%s}"
+                 (json_escape ev.ev_name) ts_us
+                 (float_of_int ev.ev_dur /. 1e3)
+                 ev.ev_tid (args_json ev.ev_args)))
+        events);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+(* Prometheus metric names admit [a-zA-Z0-9_:] only; dots and dashes in
+   our internal names become underscores. *)
+let prom_name prefix name =
+  let b = Bytes.of_string (prefix ^ "_" ^ name) in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9') || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let to_prometheus ?(prefix = "kmm") t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name prefix name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    (counters t);
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name prefix name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      List.iter
+        (fun (_, high, count) ->
+          cum := !cum + count;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n high !cum))
+        (Histogram.buckets h);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Histogram.count h));
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n (Histogram.sum h));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n (Histogram.count h)))
+    (histograms t);
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let write_chrome_trace ?process_name t path =
+  write_file path (to_chrome_trace ?process_name t)
+
+let write_prometheus ?prefix t path = write_file path (to_prometheus ?prefix t)

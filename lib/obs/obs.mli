@@ -1,0 +1,194 @@
+(** Zero-dependency observability: monotonic span timers, log-bucketed
+    mergeable latency histograms, named counters, and two exporters
+    (Chrome trace events for [about://tracing]/Perfetto, and a
+    Prometheus-style text exposition).
+
+    {2 Sinks}
+
+    Everything is recorded into a {e sink} ({!t}).  A sink is either
+    {!noop} — a flat constant on which every operation is a single
+    pattern match returning immediately, so fully-instrumented code with
+    observability disabled stays within a <2% overhead budget (measured
+    in EXPERIMENTS.md) — or an {e active} sink created by {!create},
+    holding named counters, named histograms, and (optionally) a trace
+    event buffer.
+
+    Sinks are single-domain: each worker owns its own ({!fork}), and the
+    owner {!merge}s them after the domains join.
+
+    {2 Merge semantics}
+
+    [merge] adds counters, adds histogram buckets, and concatenates
+    trace events.  Counters and histograms obey the same contract as
+    [Stats.merge]: they are sums over per-record increments, so merging
+    per-domain sinks yields {e bit-for-bit} the counters and histograms
+    a sequential run recording the same values would have produced,
+    regardless of sharding or scheduling.  (Wall-clock {e values} — span
+    durations — naturally differ between runs; the determinism claim is
+    about the merge, and about metrics derived from deterministic
+    quantities.) *)
+
+(** The monotonic clock behind every span ([CLOCK_MONOTONIC]; immune to
+    NTP steps of the wall clock). *)
+module Clock : sig
+  val now_ns : unit -> int
+  (** Nanoseconds from an arbitrary fixed origin; never decreases.
+      Allocation-free. *)
+end
+
+(** Log-bucketed (HDR-style) histograms of non-negative integers with
+    exact merge semantics.
+
+    Buckets are log-linear in base 2 with 5 bits of precision: values
+    below 64 are held in exact unit buckets; above, every power-of-two
+    octave is split into 32 equal sub-buckets, so no bucket is wider
+    than 1/32 of its values (3.125% maximum relative quantile error).
+    {!merge} is element-wise bucket addition — the multiset union,
+    bit for bit. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  (** An empty histogram (fixed bucket geometry, ~15 KB). *)
+
+  val record : t -> int -> unit
+  (** Record one value.  Negative values clamp to 0. *)
+
+  val count : t -> int
+  (** Number of recorded values. *)
+
+  val sum : t -> int
+  (** Exact sum of recorded values. *)
+
+  val min_value : t -> int
+  (** Exact minimum recorded value; 0 when empty. *)
+
+  val max_value : t -> int
+  (** Exact maximum recorded value; 0 when empty. *)
+
+  val mean : t -> float
+  (** [sum / count]; 0.0 when empty. *)
+
+  val quantile : t -> float -> int
+  (** [quantile t q] (with [q] clamped into [0, 1]) returns an upper
+      bound of the value at rank [ceil (q * count)]: exact for values
+      below 64, within 3.125% above, and never beyond {!max_value}.
+      0 when empty. *)
+
+  val merge : into:t -> t -> unit
+  (** Element-wise bucket addition; also sums [count]/[sum] and tightens
+      min/max.  Merging shards equals recording sequentially. *)
+
+  val copy : t -> t
+  (** An independent snapshot. *)
+
+  val equal : t -> t -> bool
+  (** Structural equality of contents (buckets, count, sum, min, max) —
+      the bit-for-bit check the sharded-merge tests rely on. *)
+
+  val clear : t -> unit
+  (** Reset to empty in place. *)
+
+  val buckets : t -> (int * int * int) list
+  (** Non-empty buckets in ascending value order, as
+      [(low, high_inclusive, count)] — the exporter's view. *)
+end
+
+type t
+(** A sink: {!noop} or an active recorder.  Not thread-safe; use one
+    sink per domain and {!merge}. *)
+
+val noop : t
+(** The disabled sink.  Every operation on it is a constant-time
+    pattern match; [span noop name f] is [f ()]. *)
+
+val create : ?trace:bool -> unit -> t
+(** A fresh active sink.  With [trace] (default [false]) spans and
+    {!event}s are also buffered as Chrome trace events (capped at one
+    million; overflow increments the [obs.trace_dropped] counter). *)
+
+val enabled : t -> bool
+(** [false] exactly for {!noop} — the guard for any instrumentation
+    whose cost is more than a counter bump. *)
+
+val tracing : t -> bool
+(** Whether the sink buffers trace events. *)
+
+val fork : t -> t
+(** A fresh sink of the same kind ({!noop} forks to {!noop}, active to
+    an empty active sink with the same [trace] flag) — one per worker
+    domain, {!merge}d back after the join. *)
+
+(** {1 Counters} *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Add [by] (default 1) to the named counter, creating it at 0. *)
+
+val add : t -> string -> int -> unit
+(** [add t name n] is [incr ~by:n t name]. *)
+
+val counter_value : t -> string -> int
+(** Current value; 0 if absent (always 0 on {!noop}). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name (deterministic export order). *)
+
+(** {1 Histograms} *)
+
+val record : t -> string -> int -> unit
+(** Record a value into the named histogram, creating it on first use. *)
+
+val histogram : t -> string -> Histogram.t option
+(** Look up a histogram by name. *)
+
+val histograms : t -> (string * Histogram.t) list
+(** All histograms, sorted by name. *)
+
+(** {1 Spans and events} *)
+
+val span : ?args:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f], records its monotonic duration into the
+    histogram [name ^ "_ns"], and — when {!tracing} — buffers a Chrome
+    complete event named [name] with the current domain as [tid] and
+    [args] as its argument map.  Duration is recorded even if [f]
+    raises.  On {!noop} this is exactly [f ()]. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Like {!span} but histogram-only (never buffers a trace event) — for
+    scopes frequent enough that per-call trace events would swamp the
+    buffer, e.g. per-derivation timings. *)
+
+val event : ?args:(string * string) list -> t -> string -> unit
+(** Buffer an instant trace event (no duration).  No-op unless
+    {!tracing}. *)
+
+(** {1 Merging} *)
+
+val merge : into:t -> t -> unit
+(** Add every counter and histogram of the source into the destination
+    and append its trace events (subject to the destination's cap).
+    No-op if either side is {!noop}.  See the module preamble for the
+    exactness contract. *)
+
+(** {1 Exporters} *)
+
+val to_chrome_trace : ?process_name:string -> t -> string
+(** The buffered trace as Chrome trace-event JSON: a top-level array,
+    one event object per line, loadable in [about://tracing] and
+    Perfetto.  Timestamps are rebased to the earliest event and
+    expressed in microseconds.  Always valid JSON, even for {!noop} or
+    an empty sink. *)
+
+val to_prometheus : ?prefix:string -> t -> string
+(** Counters and histograms in the Prometheus text exposition format
+    (version 0.0.4): [# TYPE] comments, [<prefix>_<name>] with
+    non-metric characters mapped to [_], histogram [_bucket{le="..."}]
+    cumulative series plus [_sum] and [_count].  Output order is sorted
+    by name, so deterministic metrics produce byte-identical
+    expositions.  [prefix] defaults to ["kmm"]. *)
+
+val write_chrome_trace : ?process_name:string -> t -> string -> unit
+(** [write_chrome_trace t path] writes {!to_chrome_trace} to [path]. *)
+
+val write_prometheus : ?prefix:string -> t -> string -> unit
+(** [write_prometheus t path] writes {!to_prometheus} to [path]. *)
