@@ -2,7 +2,12 @@
    order; otherwise each argument names one experiment:
 
      dune exec bench/main.exe                 # everything
-     dune exec bench/main.exe table2 fig11a   # a selection               *)
+     dune exec bench/main.exe table2 fig11a   # a selection
+
+   Machine-runnable benchmarks (rank-locate, map-throughput, serve) come
+   from [Bench_registry] — the same dispatch table `kmm bench` uses — so
+   the two entry points can never drift apart; the paper-reproduction
+   experiments and the bechamel micro suite stay local to this harness. *)
 
 let experiments =
   [
@@ -15,10 +20,13 @@ let experiments =
     ("fig13", Experiments.fig13);
     ("ablation", Experiments.ablation);
     ("deriv-stress", Experiments.deriv_stress);
-    ("map-throughput", Map_throughput.run);
-    ("rank-locate", (fun () -> Rank_locate.run ()));
     ("micro", Micro.run);
   ]
+  @ List.map
+      (fun e ->
+        ( e.Bench_registry.name,
+          fun () -> e.Bench_registry.run Bench_registry.default_ctx ))
+      Bench_registry.all
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

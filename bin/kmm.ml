@@ -7,7 +7,10 @@
      verify     check an index file's integrity (typed exit codes)
      search     find a pattern in a genome with at most k mismatches
      map        map a read file against a genome
+     serve      long-running query daemon on a Unix socket
+     client     query a running kmm serve daemon
      fuzz       differential-fuzz all engines against the naive oracle
+     bench      micro-benchmarks (shared dispatch table with bench/main.exe)
      bwt        print the BWT of a text (demonstration)                 *)
 
 open Cmdliner
@@ -189,8 +192,15 @@ let search_cmd =
     let idx = obtain_index ~genome ~index_file in
     with_obs ~trace ~metrics_out (fun obs ->
         let r =
-          Core.Kmismatch.run idx
-            (Core.Kmismatch.Query.make ~obs ~engine ~pattern ~k ())
+          (* The typed channel: an empty/non-ACGT pattern or k < 0 exits
+             with the Bad_input code (2) instead of an uncaught
+             exception backtrace. *)
+          match
+            Core.Kmismatch.try_run idx
+              (Core.Kmismatch.Query.make ~obs ~engine ~pattern ~k ())
+          with
+          | Ok r -> r
+          | Error e -> fail_typed e
         in
         let hits = r.Core.Kmismatch.Response.hits in
         List.iter (fun (pos, d) -> Printf.printf "%d\t%d\n" pos d) hits;
@@ -439,45 +449,296 @@ let fuzz_cmd =
 
 (* --- bench ----------------------------------------------------------- *)
 
+(* One dispatch table — [Bench_registry.all] — is shared with the
+   bench/main.exe harness, and the "available:" text is derived from it,
+   so the two entry points cannot drift apart again. *)
 let bench_cmd =
-  let run which out size seed trace metrics_out =
-    match which with
-    | "rank-locate" ->
-        with_obs ~trace ~metrics_out (fun obs ->
-            Rank_locate.run ~obs ~out ~size ~seed ());
-        `Ok ()
-    | other ->
+  let run which out size seed connections queries jobs trace metrics_out =
+    match Bench_registry.find which with
+    | None ->
         `Error
-          (false, Printf.sprintf "unknown benchmark %S (available: rank-locate)" other)
+          ( false,
+            Printf.sprintf "unknown benchmark %S (available: %s)" which
+              (Bench_registry.available ()) )
+    | Some entry ->
+        with_obs ~trace ~metrics_out (fun obs ->
+            entry.Bench_registry.run
+              {
+                Bench_registry.obs;
+                out;
+                size;
+                seed;
+                connections;
+                queries;
+                jobs;
+              });
+        `Ok ()
   in
   let which =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"BENCH" ~doc:"Benchmark to run (rank-locate).")
+      & info [] ~docv:"BENCH"
+          ~doc:
+            (Printf.sprintf "Benchmark to run (%s)." (Bench_registry.available ())))
   in
   let out =
     Arg.(
       value
-      & opt string "BENCH_fmindex.json"
-      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSON log to append the record to.")
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "JSON log to append the record to (default: the benchmark's own \
+             BENCH_*.json).")
   in
   let size =
-    Arg.(value & opt int 1_000_000 & info [ "size" ] ~docv:"N" ~doc:"Text length in bp.")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "size" ] ~docv:"N"
+          ~doc:"Text length in bp (default: the benchmark's own).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let connections =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "connections" ] ~docv:"N,N,..."
+          ~doc:"serve: concurrent connection counts to sweep.")
+  in
+  let queries =
+    Arg.(
+      value
+      & opt int 2_000
+      & info [ "queries" ] ~docv:"N" ~doc:"serve: queries per sweep point.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"serve: worker domains of the daemon (0 = all cores).")
+  in
   Cmd.v
     (Cmd.info "bench" ~doc:"Micro-benchmarks with machine-readable logs"
+       ~man:
+         ([
+            `S Manpage.s_description;
+            `P
+              "Benchmarks with machine-readable JSON logs, each cross-checking \
+               its answers so a speedup can never hide a wrong result.  The \
+               same dispatch table drives the bench/main.exe harness.";
+          ]
+         @ List.map
+             (fun e ->
+               `P
+                 (Printf.sprintf "%s: %s" e.Bench_registry.name e.Bench_registry.doc))
+             Bench_registry.all))
+    Term.(
+      ret
+        (const run $ which $ out $ size $ seed $ connections $ queries $ jobs
+       $ trace_arg $ metrics_arg))
+
+(* --- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let run genome index_file socket jobs batch_max max_pattern max_k max_hits
+      max_frame quiet trace metrics_out =
+    if jobs < 1 then failwith "--jobs must be >= 1";
+    let idx = obtain_index ~genome ~index_file in
+    let limits =
+      { Kmm_server.Protocol.max_pattern; max_k; max_hits; max_frame }
+    in
+    let cfg =
+      {
+        (Kmm_server.Server.default_config ~socket_path:socket) with
+        domains = jobs;
+        batch_max;
+        limits;
+        trace = trace <> None;
+        log = (if quiet then ignore else fun line -> Format.eprintf "kmm serve: %s@." line);
+      }
+    in
+    (match
+       Kmm_server.Server.serve ?trace_out:trace ?metrics_out:metrics_out cfg idx
+     with
+    | () -> ()
+    | exception Kmm_error.Error e -> fail_typed e);
+    `Ok ()
+  in
+  let socket =
+    Arg.(
+      value & opt string "kmm.sock"
+      & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix socket path to listen on.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Core.Work_pool.default_domains ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains answering queries (default: the number of cores).")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 64
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Most queued queries dispatched onto the pool as one batch.")
+  in
+  let d = Kmm_server.Protocol.default_limits in
+  let max_pattern =
+    Arg.(
+      value & opt int d.Kmm_server.Protocol.max_pattern
+      & info [ "max-pattern" ] ~docv:"N" ~doc:"Reject patterns longer than $(docv) bp.")
+  in
+  let max_k =
+    Arg.(
+      value & opt int d.Kmm_server.Protocol.max_k
+      & info [ "max-k" ] ~docv:"N" ~doc:"Reject mismatch budgets above $(docv).")
+  in
+  let max_hits =
+    Arg.(
+      value & opt int d.Kmm_server.Protocol.max_hits
+      & info [ "max-hits" ] ~docv:"N"
+          ~doc:"Truncate responses to $(docv) hits (flagged in the response).")
+  in
+  let max_frame =
+    Arg.(
+      value & opt int d.Kmm_server.Protocol.max_frame
+      & info [ "max-frame" ] ~docv:"N" ~doc:"Reject request lines longer than $(docv) bytes.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No log lines on stderr.") in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve k-mismatch queries from a long-running daemon"
        ~man:
          [
            `S Manpage.s_description;
            `P
-             "rank-locate: the packed-rank FM-index kernel (2-bit interleaved \
-              blocks) against the seed's byte-scan implementation on rank, \
-              extend_all, count and locate workloads, with answers cross-checked. \
-              Appends one JSON object per run to --out.";
+             "Loads the index once and answers newline-JSON queries over a Unix \
+              domain socket until SIGINT/SIGTERM (clean drain) — see the README \
+              \"Serving\" section for the wire protocol.  Every request is \
+              admitted against --max-pattern/--max-k/--max-hits/--max-frame and \
+              rejected with a typed error frame instead of a crash; a client \
+              disconnecting mid-response costs only that connection.  Queued \
+              queries are batched across --jobs worker domains.  The \"metrics\" \
+              command exposes live Prometheus metrics; --trace/--metrics-out \
+              also write them on exit.";
          ])
-    Term.(ret (const run $ which $ out $ size $ seed $ trace_arg $ metrics_arg))
+    Term.(
+      ret
+        (const run $ genome_arg $ index_arg $ socket $ jobs $ batch_max
+       $ max_pattern $ max_k $ max_hits $ max_frame $ quiet $ trace_arg
+       $ metrics_arg))
+
+(* --- client ----------------------------------------------------------- *)
+
+let client_cmd =
+  let run socket pattern k engine ping metrics info shutdown verbose =
+    let module C = Kmm_server.Server.Client in
+    let module P = Kmm_server.Protocol in
+    let conn =
+      match C.connect socket with
+      | c -> c
+      | exception Unix.Unix_error _ ->
+          fail_typed ~path:socket
+            (Kmm_error.Io (Failure "cannot connect (is kmm serve running?)"))
+    in
+    Fun.protect
+      ~finally:(fun () -> C.close conn)
+      (fun () ->
+        let rpc reply =
+          match reply with
+          | Error m -> fail_typed (Kmm_error.Io (Failure m))
+          | Ok (P.Error_reply { code; message; _ }) ->
+              Format.eprintf "kmm client: %s@." message;
+              exit code
+          | Ok r -> r
+        in
+        let field name fields =
+          match List.assoc_opt name fields with
+          | Some (P.Json.String s) -> s
+          | _ -> ""
+        in
+        if ping then begin
+          let t0 = Unix.gettimeofday () in
+          match rpc (C.command conn "ping") with
+          | P.Ok_obj _ ->
+              Printf.printf "pong (%.2f ms)\n" ((Unix.gettimeofday () -. t0) *. 1e3);
+              `Ok ()
+          | _ -> `Error (false, "unexpected reply")
+        end
+        else if metrics then begin
+          match rpc (C.command conn "metrics") with
+          | P.Ok_obj { fields; _ } ->
+              print_string (field "metrics" fields);
+              `Ok ()
+          | _ -> `Error (false, "unexpected reply")
+        end
+        else if info then begin
+          match rpc (C.command conn "info") with
+          | P.Ok_obj { fields; _ } ->
+              print_endline (P.Json.to_string (P.Json.Obj fields));
+              `Ok ()
+          | _ -> `Error (false, "unexpected reply")
+        end
+        else if shutdown then begin
+          match rpc (C.command conn "shutdown") with
+          | P.Ok_obj _ ->
+              if verbose then Format.eprintf "daemon is draining@.";
+              `Ok ()
+          | _ -> `Error (false, "unexpected reply")
+        end
+        else
+          match pattern with
+          | None ->
+              `Error
+                (false, "PATTERN is required unless --ping/--metrics/--info/--shutdown")
+          | Some pattern -> (
+              match rpc (C.query conn ~engine ~pattern ~k ()) with
+              | P.Hits { hits; truncated; _ } ->
+                  List.iter (fun (pos, d) -> Printf.printf "%d\t%d\n" pos d) hits;
+                  if truncated then
+                    Format.eprintf "kmm client: hit list truncated by the server@.";
+                  if verbose then
+                    Format.eprintf "engine=%s hits=%d@."
+                      (Core.Kmismatch.engine_name engine)
+                      (List.length hits);
+                  `Ok ()
+              | _ -> `Error (false, "unexpected reply")))
+  in
+  let socket =
+    Arg.(
+      value & opt string "kmm.sock"
+      & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Socket of the running daemon.")
+  in
+  let pattern =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PATTERN" ~doc:"Pattern (ACGT).")
+  in
+  let k = Arg.(value & opt int 0 & info [ "k" ] ~doc:"Mismatch budget.") in
+  let engine =
+    Arg.(value & opt engine_conv Core.Kmismatch.M_tree & info [ "engine" ] ~doc:"Engine.")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip check.") in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Print the daemon's live Prometheus metrics.")
+  in
+  let info_flag = Arg.(value & flag & info [ "info" ] ~doc:"Print daemon info (JSON).") in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty stderr.") in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Query a running kmm serve daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Speaks the newline-JSON protocol of kmm serve.  On a server-side \
+              error the daemon's typed error code becomes this process's exit \
+              code — the same contract as the offline commands.";
+         ])
+    Term.(
+      ret
+        (const run $ socket $ pattern $ k $ engine $ ping $ metrics $ info_flag
+       $ shutdown $ verbose))
 
 (* --- bwt ------------------------------------------------------------ *)
 
@@ -504,5 +765,7 @@ let () =
             map_cmd;
             fuzz_cmd;
             bench_cmd;
+            serve_cmd;
+            client_cmd;
             bwt_cmd;
           ]))

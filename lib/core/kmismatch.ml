@@ -79,12 +79,23 @@ let flush_counters obs (s : Stats.t) fm_delta =
       Obs.add obs "fm.locate_walks" d.locate_walks;
       Obs.add obs "fm.locate_steps" d.locate_steps
 
-let run t (q : Query.t) =
-  let obs = q.obs in
-  let t0 = Obs.Clock.now_ns () in
-  let pattern = Dna.Sequence.to_string (Dna.Sequence.of_string q.pattern) in
-  if pattern = "" then invalid_arg "Kmismatch.search: empty pattern";
-  if q.k < 0 then invalid_arg "Kmismatch.search: negative k";
+(* Validation is the typed half of the entry point: every reason a query
+   cannot run maps to [Kmm_error.Bad_input] carrying the same message the
+   raising path has always used, so [run] can rebuild the historical
+   [Invalid_argument]s verbatim and long-running callers (the server, the
+   mapper) get a [result] they can answer with instead of a crash. *)
+let validate (q : Query.t) =
+  match
+    try Ok (Dna.Sequence.to_string (Dna.Sequence.of_string q.pattern))
+    with Invalid_argument msg -> Error msg
+  with
+  | Error msg -> Error (Kmm_error.Bad_input msg)
+  | Ok "" -> Error (Kmm_error.Bad_input "Kmismatch.search: empty pattern")
+  | Ok _ when q.k < 0 ->
+      Error (Kmm_error.Bad_input "Kmismatch.search: negative k")
+  | Ok pattern -> Ok pattern
+
+let run_validated t (q : Query.t) ~obs ~t0 ~pattern =
   (* Degenerate budgets are uniform across engines: a window holds at
      most m mismatches, so k >= m answers every window position at its
      true distance.  Clamping here (and in each engine, for direct
@@ -145,6 +156,21 @@ let run t (q : Query.t) =
     stats;
     timings = [ ("normalize", s (t1 - t0)); ("search", s (t2 - t1)) ];
   }
+
+let try_run t (q : Query.t) =
+  let t0 = Obs.Clock.now_ns () in
+  match validate q with
+  | Error e -> Error e
+  | Ok pattern -> Ok (run_validated t q ~obs:q.obs ~t0 ~pattern)
+
+let run t q =
+  match try_run t q with
+  | Ok r -> r
+  | Error (Kmm_error.Bad_input msg) ->
+      (* The historical raising contract, message included: direct
+         callers and tests pattern-match on these strings. *)
+      invalid_arg msg
+  | Error e -> Kmm_error.raise_error e
 
 let search ?stats ?config t ~engine ~pattern ~k =
   let r = run t (Query.make ?config ~engine ~pattern ~k ()) in

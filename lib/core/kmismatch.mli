@@ -81,10 +81,19 @@ module Response : sig
   (** The hit positions only. *)
 end
 
+val try_run : index -> Query.t -> (Response.t, Kmm_error.t) result
+(** Execute one query, reporting validation failures as values: an
+    empty pattern, a non-ACGT character, or [k < 0] comes back as
+    [Error (Kmm_error.Bad_input _)] (message identical to the
+    [Invalid_argument] that {!run} would raise) instead of an exception.
+    This is the entry point for long-running callers — the [kmm serve]
+    daemon and the CLI — that must answer a bad query, not crash on it.
+    A valid query behaves exactly as under {!run}. *)
+
 val run : index -> Query.t -> Response.t
 (** Execute one query.  The pattern is normalized (case); raises
     [Invalid_argument] if it is empty, contains non-ACGT characters, or
-    [k < 0].
+    [k < 0] — a thin raising wrapper over {!try_run}.
 
     Degenerate budgets are uniform across engines: any [k >= length
     pattern] is equivalent to [k = length pattern] (every window position

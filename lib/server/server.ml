@@ -1,0 +1,550 @@
+(* The kmm query daemon.  Threading model:
+
+     acceptor thread   -- select/accept loop on the listening socket
+     1 thread per conn -- frame loop: read, admit, submit, reply
+     dispatcher thread -- drains the query queue in batches and runs
+                          each batch across the Work_pool domains
+     caller            -- start/stop (or the [serve] signal loop)
+
+   Connection threads are cheap OS threads blocked on I/O; the CPU work
+   all happens on the pool's domains, so [domains] — not the number of
+   clients — bounds parallel search work.  All shared state is guarded
+   by three mutexes with a strict no-nesting discipline: [qm] (query
+   queue), [cm] (connection registry), [mm] (metrics sink); per-job
+   mutexes are leaves. *)
+
+module Kmismatch = Core.Kmismatch
+
+exception Conn_lost
+(* A peer vanished mid-write (EPIPE with SIGPIPE ignored, or reset).
+   Caught at the top of each connection thread: costs that connection,
+   never the daemon. *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception
+          Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN | Unix.ENOTCONN | Unix.EBADF), _, _)
+        ->
+          raise Conn_lost
+  in
+  go 0
+
+(* --- buffered frame reader ----------------------------------------- *)
+
+module Line_reader = struct
+  type event =
+    | Line of string  (** one complete frame, newline stripped *)
+    | Oversize  (** the current frame outgrew [max_line]; it is being
+                    discarded up to its terminating newline *)
+    | Truncated  (** EOF in the middle of a frame *)
+    | Timeout  (** [SO_RCVTIMEO] expired — poll your stop flag *)
+    | Eof
+
+  type t = {
+    fd : Unix.file_descr;
+    buf : Bytes.t;
+    acc : Buffer.t;  (* the frame being accumulated *)
+    lines : string Queue.t;
+    mutable discarding : bool;
+    mutable eof : bool;
+  }
+
+  let create fd =
+    {
+      fd;
+      buf = Bytes.create 8192;
+      acc = Buffer.create 256;
+      lines = Queue.create ();
+      discarding = false;
+      eof = false;
+    }
+
+  let push_line t =
+    let line = Buffer.contents t.acc in
+    Buffer.clear t.acc;
+    (* Tolerate CRLF clients. *)
+    let line =
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+    in
+    Queue.add line t.lines
+
+  let rec next ~max_line t =
+    match Queue.take_opt t.lines with
+    | Some l -> Line l
+    | None ->
+        if t.eof then Eof
+        else if Buffer.length t.acc > max_line && not t.discarding then begin
+          (* Frame outgrew the limit before its newline arrived: report
+             once, then silently drop the rest of the frame so the
+             connection resynchronizes at the next newline. *)
+          Buffer.clear t.acc;
+          t.discarding <- true;
+          Oversize
+        end
+        else begin
+          match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+          | 0 ->
+              t.eof <- true;
+              if Buffer.length t.acc > 0 && not t.discarding then Truncated else Eof
+          | n ->
+              for i = 0 to n - 1 do
+                let c = Bytes.get t.buf i in
+                if t.discarding then begin
+                  if c = '\n' then t.discarding <- false
+                end
+                else if c = '\n' then push_line t
+                else Buffer.add_char t.acc c
+              done;
+              next ~max_line t
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            ->
+              Timeout
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+            ->
+              t.eof <- true;
+              Eof
+        end
+end
+
+(* --- configuration and server state -------------------------------- *)
+
+type config = {
+  socket_path : string;
+  domains : int;
+  batch_max : int;
+  backlog : int;
+  limits : Protocol.limits;
+  trace : bool;
+  log : string -> unit;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    domains = Core.Work_pool.default_domains ();
+    batch_max = 64;
+    backlog = 64;
+    limits = Protocol.default_limits;
+    trace = false;
+    log = ignore;
+  }
+
+type job = {
+  pattern : string;
+  k : int;
+  engine : Kmismatch.engine;
+  jm : Mutex.t;
+  jcv : Condition.t;
+  mutable answer : (Kmismatch.Response.t, Kmm_error.t) result option;
+}
+
+type t = {
+  cfg : config;
+  idx : Kmismatch.index;
+  listen_fd : Unix.file_descr;
+  pool : Core.Work_pool.t;
+  (* query queue *)
+  qm : Mutex.t;
+  qcv : Condition.t;
+  queue : job Queue.t;
+  (* connection registry *)
+  cm : Mutex.t;
+  mutable conns : Thread.t list;
+  (* metrics *)
+  mm : Mutex.t;
+  sink : Obs.t;
+  stop_requested : bool Atomic.t;
+  stopped : bool Atomic.t;
+  mutable acceptor : Thread.t option;
+  mutable dispatcher : Thread.t option;
+}
+
+let stopping t = Atomic.get t.stop_requested
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let with_metrics t f =
+  Mutex.lock t.mm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mm) (fun () -> f t.sink)
+
+let bump t name = with_metrics t (fun s -> Obs.incr s name)
+
+let metrics_text t = with_metrics t Obs.to_prometheus
+
+(* --- dispatcher ----------------------------------------------------- *)
+
+(* Run one batch across the pool.  Each task answers exactly one job via
+   [Kmismatch.try_run] — validation failures and even engine exceptions
+   become values here, so a task can never raise into the pool.  Results
+   land in a slot array indexed by task (the pool's deterministic-merge
+   idiom) and are published to the waiting connection threads under each
+   job's own mutex after the join. *)
+let process_batch t (batch : job array) =
+  let n = Array.length batch in
+  let forks = Array.init (Core.Work_pool.domains t.pool) (fun _ -> Obs.fork t.sink) in
+  let answers =
+    Array.make n (Error (Kmm_error.Internal "batch task never ran"))
+  in
+  (try
+     Core.Work_pool.run ~obs:forks t.pool ~tasks:n (fun ~worker ~task ->
+         let j = batch.(task) in
+         let query =
+           Kmismatch.Query.make ~obs:forks.(worker) ~engine:j.engine
+             ~pattern:j.pattern ~k:j.k ()
+         in
+         answers.(task) <-
+           (match Kmismatch.try_run t.idx query with
+           | r -> r
+           | exception e -> Error (Kmm_error.Internal (Printexc.to_string e))))
+   with e ->
+     (* [try_run] never raises, so this is a pool-level fault; answer
+        every job rather than leaving a connection thread waiting. *)
+     let reason = Kmm_error.Internal (Printexc.to_string e) in
+     Array.iteri (fun i _ -> answers.(i) <- Error reason) batch);
+  with_metrics t (fun s ->
+      Array.iter (fun o -> Obs.merge ~into:s o) forks;
+      Obs.record s "serve.batch_size" n;
+      Obs.incr ~by:n s "serve.queries");
+  Array.iteri
+    (fun i j ->
+      Mutex.lock j.jm;
+      j.answer <- Some answers.(i);
+      Condition.signal j.jcv;
+      Mutex.unlock j.jm)
+    batch
+
+let dispatcher_loop t =
+  let rec loop () =
+    Mutex.lock t.qm;
+    while Queue.is_empty t.queue && not (stopping t) do
+      Condition.wait t.qcv t.qm
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.qm (* stopping and drained *)
+    else begin
+      let batch = ref [] in
+      let count = ref 0 in
+      while !count < t.cfg.batch_max && not (Queue.is_empty t.queue) do
+        batch := Queue.pop t.queue :: !batch;
+        incr count
+      done;
+      Mutex.unlock t.qm;
+      process_batch t (Array.of_list (List.rev !batch));
+      loop ()
+    end
+  in
+  loop ()
+
+(* Submit a query and block until the dispatcher answers it.  Refused
+   (with [None]) once a stop was requested — the queue is guaranteed to
+   drain, so anything admitted here is guaranteed an answer. *)
+let submit t ~pattern ~k ~engine =
+  let job =
+    { pattern; k; engine; jm = Mutex.create (); jcv = Condition.create (); answer = None }
+  in
+  Mutex.lock t.qm;
+  if stopping t then begin
+    Mutex.unlock t.qm;
+    None
+  end
+  else begin
+    Queue.add job t.queue;
+    Condition.signal t.qcv;
+    Mutex.unlock t.qm;
+    Mutex.lock job.jm;
+    while job.answer = None do
+      Condition.wait job.jcv job.jm
+    done;
+    Mutex.unlock job.jm;
+    job.answer
+  end
+
+(* --- connection handling -------------------------------------------- *)
+
+let take n l =
+  let rec go n acc = function
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | x :: tl -> go (n - 1) (x :: acc) tl
+  in
+  go n [] l
+
+let info_fields t =
+  let open Protocol in
+  [
+    ("protocol", Json.Int 1);
+    ("length", Json.Int (Kmismatch.length t.idx));
+    ("domains", Json.Int (Core.Work_pool.domains t.pool));
+    ( "engines",
+      Json.List
+        (List.map
+           (fun e -> Json.String (Kmismatch.engine_name e))
+           Kmismatch.all_engines) );
+    ("limits", limits_to_json t.cfg.limits);
+  ]
+
+let handle_query t ~respond ~id ~pattern ~k ~engine =
+  let open Protocol in
+  let t0 = Obs.Clock.now_ns () in
+  match submit t ~pattern ~k ~engine with
+  | None ->
+      respond (error_response ~id (Kmm_error.Io (Failure "server is shutting down")))
+  | Some (Error e) ->
+      with_metrics t (fun s -> Obs.incr s "serve.errors");
+      respond (error_response ~id e)
+  | Some (Ok r) ->
+      let hits = r.Kmismatch.Response.hits in
+      let count = List.length hits in
+      let truncated = count > t.cfg.limits.max_hits in
+      let hits = if truncated then take t.cfg.limits.max_hits hits else hits in
+      let reply = ok_hits_response ~id ~truncated hits in
+      respond reply;
+      with_metrics t (fun s ->
+          Obs.record s "serve.request_ns" (Obs.Clock.now_ns () - t0);
+          Obs.add s "serve.hits" count;
+          if truncated then Obs.incr s "serve.truncated")
+
+let handle_conn t fd =
+  let open Protocol in
+  let reader = Line_reader.create fd in
+  let max_line = t.cfg.limits.max_frame in
+  let respond s = write_all fd (s ^ "\n") in
+  let reject ~id e =
+    bump t "serve.rejected";
+    respond (error_response ~id e)
+  in
+  let handle_frame line =
+    match parse_request ~limits:t.cfg.limits line with
+    | Error (id, e) -> reject ~id e
+    | Ok { id; body } -> (
+        bump t "serve.requests";
+        match body with
+        | Ping -> respond (ok_obj_response ~id [ ("pong", Json.Bool true) ])
+        | Metrics ->
+            respond (ok_obj_response ~id [ ("metrics", Json.String (metrics_text t)) ])
+        | Info -> respond (ok_obj_response ~id (info_fields t))
+        | Shutdown ->
+            respond (ok_obj_response ~id [ ("stopping", Json.Bool true) ]);
+            t.cfg.log "shutdown requested over the wire";
+            request_stop t
+        | Query { pattern; k; engine } ->
+            handle_query t ~respond ~id ~pattern ~k ~engine)
+  in
+  let rec loop () =
+    match Line_reader.next ~max_line reader with
+    | Timeout -> if stopping t then () else loop ()
+    | Eof -> ()
+    | Truncated ->
+        (* The peer shut its write side mid-frame; it may still read. *)
+        reject ~id:Json.Null
+          (Kmm_error.Bad_input "truncated frame: connection closed mid-line")
+    | Oversize ->
+        reject ~id:Json.Null
+          (Kmm_error.Bad_input
+             (Printf.sprintf "frame exceeds max_frame (%d bytes)" max_line));
+        loop ()
+    | Line "" -> loop ()
+    | Line line ->
+        handle_frame line;
+        if stopping t then () else loop ()
+  in
+  (try loop () with
+  | Conn_lost -> bump t "serve.conns_dropped"
+  | e ->
+      bump t "serve.conns_failed";
+      t.cfg.log (Printf.sprintf "connection failed: %s" (Printexc.to_string e)));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  bump t "serve.disconnects"
+
+let acceptor_loop t =
+  let rec loop () =
+    if stopping t then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ ->
+              (* Bounded read timeout: connection threads poll the stop
+                 flag at least every 250 ms even when a client idles. *)
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25;
+              bump t "serve.connections";
+              let th = Thread.create (fun () -> handle_conn t fd) () in
+              Mutex.lock t.cm;
+              t.conns <- th :: t.conns;
+              Mutex.unlock t.cm;
+              loop ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+            ->
+              loop ()
+          (* stop closes the fd between select and accept *)
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> () (* closed by stop *)
+  in
+  loop ()
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+(* Binding over a leftover socket file: a live daemon answers a connect,
+   a stale file (crashed or killed -9 predecessor) refuses it.  Only the
+   stale case is safe to unlink and reclaim. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      Kmm_error.raise_error
+        (Kmm_error.Io (Failure (Printf.sprintf "%s: a daemon is already listening" path)))
+    else try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
+let start cfg idx =
+  if cfg.domains < 1 then invalid_arg "Server.start: domains must be >= 1";
+  if cfg.batch_max < 1 then invalid_arg "Server.start: batch_max must be >= 1";
+  (* A disconnecting client must never kill the daemon: writes to a dead
+     peer report EPIPE instead of raising the default-fatal SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  claim_socket_path cfg.socket_path;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd cfg.backlog;
+     Unix.set_nonblock listen_fd
+   with
+  | () -> ()
+  | exception e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match e with
+      | Unix.Unix_error _ | Sys_error _ -> Kmm_error.raise_error (Kmm_error.Io e)
+      | e -> raise e));
+  let t =
+    {
+      cfg;
+      idx;
+      listen_fd;
+      pool = Core.Work_pool.create ~domains:cfg.domains ();
+      qm = Mutex.create ();
+      qcv = Condition.create ();
+      queue = Queue.create ();
+      cm = Mutex.create ();
+      conns = [];
+      mm = Mutex.create ();
+      sink = Obs.create ~trace:cfg.trace ();
+      stop_requested = Atomic.make false;
+      stopped = Atomic.make false;
+      acceptor = None;
+      dispatcher = None;
+    }
+  in
+  Fmindex.Fm_index.Telemetry.set_enabled true;
+  t.dispatcher <- Some (Thread.create dispatcher_loop t);
+  t.acceptor <- Some (Thread.create acceptor_loop t);
+  cfg.log
+    (Printf.sprintf "listening on %s (%d bp index, %d domain%s, batch <= %d)"
+       cfg.socket_path (Kmismatch.length idx) cfg.domains
+       (if cfg.domains = 1 then "" else "s")
+       cfg.batch_max);
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    request_stop t;
+    (* Wake the dispatcher so it can observe the flag and drain. *)
+    Mutex.lock t.qm;
+    Condition.broadcast t.qcv;
+    Mutex.unlock t.qm;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.acceptor;
+    Option.iter Thread.join t.dispatcher;
+    let conns =
+      Mutex.lock t.cm;
+      let l = t.conns in
+      t.conns <- [];
+      Mutex.unlock t.cm;
+      l
+    in
+    List.iter Thread.join conns;
+    Core.Work_pool.shutdown t.pool;
+    Fmindex.Fm_index.Telemetry.set_enabled false;
+    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+    t.cfg.log "stopped (drained)"
+  end
+
+let serve ?trace_out ?metrics_out cfg idx =
+  let t = start cfg idx in
+  let install sg = Sys.signal sg (Sys.Signal_handle (fun _ -> request_stop t)) in
+  let old_int = install Sys.sigint in
+  let old_term = install Sys.sigterm in
+  let finish () =
+    stop t;
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigterm old_term;
+    Mutex.lock t.mm;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mm)
+      (fun () ->
+        Option.iter (Obs.write_chrome_trace ~process_name:"kmm-serve" t.sink) trace_out;
+        Option.iter (Obs.write_prometheus t.sink) metrics_out)
+  in
+  Fun.protect ~finally:finish (fun () ->
+      while not (stopping t) do
+        try Thread.delay 0.1
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      cfg.log "stop requested; draining")
+
+(* --- client helpers ------------------------------------------------- *)
+
+module Client = struct
+  type c = { fd : Unix.file_descr; reader : Line_reader.t }
+
+  let connect path =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e);
+    { fd; reader = Line_reader.create fd }
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  let send_line c s = write_all c.fd (s ^ "\n")
+
+  let rec recv_line c =
+    (* No SO_RCVTIMEO on client sockets: reads block until a frame or
+       EOF, so Timeout never surfaces here. *)
+    match Line_reader.next ~max_line:Sys.max_string_length c.reader with
+    | Line_reader.Line l -> Some l
+    | Line_reader.Timeout -> recv_line c
+    | Line_reader.Eof | Line_reader.Truncated | Line_reader.Oversize -> None
+
+  let rpc c frame =
+    match send_line c frame with
+    | () -> (
+        match recv_line c with
+        | Some line -> Protocol.parse_reply line
+        | None -> Error "connection closed by server")
+    | exception Conn_lost -> Error "connection lost"
+
+  let query c ?id ?engine ~pattern ~k () =
+    rpc c (Protocol.query_request ?id ?engine ~pattern ~k ())
+
+  let command c cmd = rpc c (Protocol.command_request cmd)
+end

@@ -1,0 +1,124 @@
+(** [kmm serve]: a long-running k-mismatch query daemon over a Unix
+    domain socket.
+
+    The daemon loads one immutable {!Core.Kmismatch.index} at startup
+    and answers {!Protocol} frames from any number of concurrent
+    clients.  Each connection is served by a lightweight thread that
+    reads frames, admits them against the configured {!Protocol.limits}
+    and enqueues admitted queries on a shared batcher; a dispatcher
+    thread drains the queue in batches of at most [batch_max] and fans
+    each batch out across a {!Core.Work_pool} of [domains] OCaml
+    domains.  Results come back {!Core.Kmismatch.Response}-shaped;
+    every failure — malformed frame, limit violation, invalid pattern,
+    even an engine bug — is answered as a typed {!Kmm_error} frame on
+    that one connection.  The daemon itself never crashes on input.
+
+    {2 Failure and signal model}
+
+    - [SIGPIPE] is ignored at {!start}: a client that disconnects
+      mid-response surfaces as [EPIPE]/[ECONNRESET] on the write, which
+      is accounted as a per-connection drop ([serve.conns_dropped]) and
+      closes only that connection.
+    - [SIGINT]/[SIGTERM] (installed by {!serve}) request a clean drain:
+      the listener stops accepting, queued queries are still answered,
+      every connection thread exits at its next frame boundary, worker
+      domains are joined, and the socket file is unlinked.
+    - A connection that ends mid-frame (truncated frame) is answered
+      with a typed rejection if the peer can still read, then closed.
+
+    {2 Observability}
+
+    The server owns an always-active {!Obs} sink (mutex-guarded; worker
+    domains record into per-batch forks merged back in worker order).
+    Counters: [serve.connections], [serve.disconnects],
+    [serve.conns_dropped], [serve.requests], [serve.queries],
+    [serve.rejected], [serve.errors], [serve.truncated],
+    [serve.hits].  Histograms: [serve.request_ns] (admission to
+    response write), [serve.batch_size], plus the {!Core.Work_pool}
+    [pool.*] metrics and per-query [engine.*]/[fm.*] counters.  The
+    whole sink is exported live over the wire by the [metrics] command
+    in Prometheus text format. *)
+
+type config = {
+  socket_path : string;  (** where to bind ([AF_UNIX]) *)
+  domains : int;  (** {!Core.Work_pool} size for query execution *)
+  batch_max : int;  (** most queries drained into one pool batch *)
+  backlog : int;  (** [listen] backlog *)
+  limits : Protocol.limits;  (** per-request admission limits *)
+  trace : bool;  (** buffer Chrome trace events in the sink *)
+  log : string -> unit;  (** daemon log lines; [ignore] silences *)
+}
+
+val default_config : socket_path:string -> config
+(** [domains = Work_pool.default_domains ()], [batch_max = 64],
+    [backlog = 64], [limits = Protocol.default_limits],
+    [trace = false], [log = ignore]. *)
+
+type t
+
+val start : config -> Core.Kmismatch.index -> t
+(** Bind the socket and spawn the acceptor and dispatcher; returns once
+    the daemon is accepting.  If the socket path is already bound by a
+    live daemon, raises [Kmm_error.Error (Io _)]; a stale socket file
+    left by a crashed process is replaced.
+    @raise Kmm_error.Error on socket setup failure. *)
+
+val request_stop : t -> unit
+(** Ask the daemon to drain and stop.  Async-signal-safe (sets a flag);
+    actual teardown happens in {!stop} (or the {!serve} loop).  *)
+
+val stopping : t -> bool
+(** Whether a stop has been requested (by {!request_stop}, a signal, or
+    a client [shutdown] command). *)
+
+val stop : t -> unit
+(** Drain and stop: stop accepting, answer everything already queued,
+    join every thread and worker domain, close and unlink the socket.
+    Idempotent; safe after {!request_stop}. *)
+
+val metrics_text : t -> string
+(** A live Prometheus exposition of the server sink (what the [metrics]
+    wire command returns). *)
+
+val serve :
+  ?trace_out:string -> ?metrics_out:string -> config -> Core.Kmismatch.index -> unit
+(** The blocking CLI entry point: {!start}, install [SIGINT]/[SIGTERM]
+    handlers that {!request_stop}, wait, then {!stop} — and on the way
+    out write the sink as a Chrome trace and/or Prometheus file when
+    the paths are given.  Signal dispositions are restored on exit. *)
+
+(** Client-side helpers over the same wire protocol — used by
+    [kmm client], the serve bench and the tests.  Blocking; one
+    request/response at a time per connection (the protocol itself
+    allows pipelining via [id]). *)
+module Client : sig
+  type c
+
+  val connect : string -> c
+  (** Connect to a daemon's socket path.  Raises [Unix.Unix_error] if
+      nothing is listening. *)
+
+  val close : c -> unit
+
+  val send_line : c -> string -> unit
+  (** Send one raw frame (the newline is appended here). *)
+
+  val recv_line : c -> string option
+  (** Next response frame, [None] on EOF. *)
+
+  val rpc : c -> string -> (Protocol.reply, string) result
+  (** [send_line] then [recv_line] then {!Protocol.parse_reply};
+      [Error] on EOF or malformed reply. *)
+
+  val query :
+    c ->
+    ?id:Protocol.Json.t ->
+    ?engine:Core.Kmismatch.engine ->
+    pattern:string ->
+    k:int ->
+    unit ->
+    (Protocol.reply, string) result
+
+  val command : c -> string -> (Protocol.reply, string) result
+  (** [command c "ping"], [command c "metrics"], ... *)
+end
