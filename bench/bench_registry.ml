@@ -53,6 +53,15 @@ let all =
       run = (fun _ -> Map_throughput.run ());
     };
     {
+      name = "load-modes";
+      doc =
+        "index cold start: v3 copy reconstruction vs v4 copy vs v4 mmap \
+         adoption at 1/32/128 Mbp (probe answers cross-checked; appends to \
+         BENCH_fmindex.json; --size narrows to one size)";
+      run =
+        (fun c -> Load_modes.run ~obs:c.obs ?out:c.out ?size:c.size ~seed:c.seed ());
+    };
+    {
       name = "serve";
       doc =
         "kmm serve daemon: throughput and p50/p99 latency vs. concurrent \

@@ -1,0 +1,143 @@
+(* Cold-start benchmark for the index load paths: format-v3 copy load
+   (parse + O(n) reconstruction), format-v4 copy load (parse + CRC sweep
+   + buffer adoption) and format-v4 mmap adoption (header validation
+   only; the kernel pages the sections in on first touch).
+
+   The metric that matters is daemon cold start: how long between
+   [kmm serve -i ref.fmi] and the first answered query.  So besides the
+   bare load call each mode also times a small probe batch — for mmap
+   that is where the page faults land, and an adoption that merely
+   deferred all the work would be exposed here.  Every probe answer is
+   cross-checked against the freshly built index; a wrong answer fails
+   the run.
+
+   One JSON record per run is appended to --out (default
+   BENCH_fmindex.json). *)
+
+let default_sizes = [ 1_000_000; 32_000_000; 128_000_000 ]
+
+type row = {
+  size : int;
+  build_s : float;
+  file_bytes : int;
+  v3_copy_s : float;
+  v4_copy_s : float;
+  v4_mmap_s : float;
+  v4_mmap_probe_s : float;
+  speedup : float;  (* v3 copy / v4 mmap, the PR acceptance number *)
+}
+
+let probe_patterns ~st text =
+  List.init 16 (fun _ ->
+      let len = 20 + Random.State.int st 21 in
+      let pos = Random.State.int st (String.length text - len) in
+      String.sub text pos len)
+
+(* Best-of-[reps] wall-clock of [load ()], cross-checking every rep's
+   probe answers against [expected].  Returns (load, probe) seconds. *)
+let time_load ~reps ~probes ~expected load =
+  let best_load = ref infinity and best_probe = ref infinity in
+  for _ = 1 to reps do
+    let fm, load_s = Bench_util.time load in
+    let answers, probe_s =
+      Bench_util.time (fun () ->
+          List.map (fun p -> Fmindex.Fm_index.find_all fm p) probes)
+    in
+    if answers <> expected then failwith "load bench: probe answers diverge";
+    best_load := min !best_load load_s;
+    best_probe := min !best_probe probe_s
+  done;
+  (!best_load, !best_probe)
+
+let bench_one ~st ~reps size =
+  let text =
+    Dna.Sequence.to_string (Dna.Sequence.random ~state:st size)
+  in
+  let fm, build_s = Bench_util.time (fun () -> Fmindex.Fm_index.build text) in
+  Bench_util.note "%s bp: index built in %s" (Bench_util.fmt_count size)
+    (Bench_util.fmt_time build_s);
+  let probes = probe_patterns ~st text in
+  let expected = List.map (fun p -> Fmindex.Fm_index.find_all fm p) probes in
+  let tmp suffix =
+    Filename.temp_file "kmm-load-bench" suffix
+  in
+  let v3_path = tmp ".v3.fmi" and v4_path = tmp ".v4.fmi" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ v3_path; v4_path ])
+    (fun () ->
+      Fmindex.Fm_index.save_v3 fm v3_path;
+      Fmindex.Fm_index.save fm v4_path;
+      let file_bytes = (Unix.stat v4_path).Unix.st_size in
+      let v3_copy_s, _ =
+        time_load ~reps ~probes ~expected (fun () -> Fmindex.Fm_index.load v3_path)
+      in
+      let v4_copy_s, _ =
+        time_load ~reps ~probes ~expected (fun () ->
+            Fmindex.Fm_index.load ~mode:Fmindex.Fm_index.Copy v4_path)
+      in
+      let v4_mmap_s, v4_mmap_probe_s =
+        time_load ~reps ~probes ~expected (fun () ->
+            Fmindex.Fm_index.load ~mode:Fmindex.Fm_index.Mmap v4_path)
+      in
+      {
+        size;
+        build_s;
+        file_bytes;
+        v3_copy_s;
+        v4_copy_s;
+        v4_mmap_s;
+        v4_mmap_probe_s;
+        speedup = v3_copy_s /. v4_mmap_s;
+      })
+
+let run ?(obs = Obs.noop) ?(out = "BENCH_fmindex.json") ?size ?(seed = 42) () =
+  let sizes = match size with Some s -> [ s ] | None -> default_sizes in
+  Bench_util.section "load-modes: v3 copy vs v4 copy vs v4 mmap cold start";
+  Bench_util.note
+    "per mode: best of 3 bare loads, plus a 16-query probe batch (mmap pays \
+     its page faults there); every probe cross-checked against the built index";
+  let st = Random.State.make [| seed |] in
+  let rows =
+    Obs.span obs "bench.load_modes" (fun () ->
+        List.map (fun s -> bench_one ~st ~reps:3 s) sizes)
+  in
+  Bench_util.table
+    ~header:
+      [ "size"; "file"; "v3 copy"; "v4 copy"; "v4 mmap"; "mmap probe"; "v3/mmap" ]
+    (List.map
+       (fun r ->
+         [
+           Bench_util.fmt_count r.size;
+           Bench_util.fmt_count r.file_bytes;
+           Bench_util.fmt_time r.v3_copy_s;
+           Bench_util.fmt_time r.v4_copy_s;
+           Bench_util.fmt_time r.v4_mmap_s;
+           Bench_util.fmt_time r.v4_mmap_probe_s;
+           Printf.sprintf "%.0fx" r.speedup;
+         ])
+       rows);
+  List.iter
+    (fun r ->
+      Obs.record obs
+        (Printf.sprintf "bench.load.%d.v4_mmap_us" r.size)
+        (int_of_float (r.v4_mmap_s *. 1e6)))
+    rows;
+  let json =
+    Printf.sprintf "{\"bench\":\"load_modes\",\"meta\":%s,\"seed\":%d,\"results\":[%s]}"
+      (Bench_meta.to_json ()) seed
+      (String.concat ","
+         (List.map
+            (fun r ->
+              Printf.sprintf
+                "{\"size\":%d,\"file_bytes\":%d,\"build_s\":%.4f,\"v3_copy_s\":%.4f,\
+                 \"v4_copy_s\":%.4f,\"v4_mmap_s\":%.6f,\"v4_mmap_probe_s\":%.6f,\
+                 \"speedup_v3_over_mmap\":%.1f}"
+                r.size r.file_bytes r.build_s r.v3_copy_s r.v4_copy_s r.v4_mmap_s
+                r.v4_mmap_probe_s r.speedup)
+            rows))
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 out in
+  output_string oc (json ^ "\n");
+  close_out oc;
+  Bench_util.note "record appended to %s" out

@@ -123,7 +123,7 @@ let run_campaign ~idx ~queries ~k ~connections ~jobs ~batch_max =
       batch_max;
     }
   in
-  let server = Kmm_server.Server.start cfg idx in
+  let server = Kmm_server.Server.start cfg (Core.Corpus.mono idx) in
   Fun.protect
     ~finally:(fun () -> Kmm_server.Server.stop server)
     (fun () ->

@@ -30,14 +30,27 @@ let read_genome path =
   | Ok [] -> fail_typed ~path (Kmm_error.Bad_input "no FASTA records")
   | Ok (r :: _) -> r.Dna.Fasta.seq
 
-(* Either a FASTA genome (indexed on the fly) or a prebuilt .fmi index. *)
-let obtain_index ~genome ~index_file =
+(* Every record of a FASTA file, concatenated — the corpus view a
+   sharded index is built over. *)
+let read_genome_all path =
+  match Dna.Fasta.try_read_file path with
+  | Error e -> fail_typed ~path e
+  | Ok [] -> fail_typed ~path (Kmm_error.Bad_input "no FASTA records")
+  | Ok records ->
+      String.concat ""
+        (List.map (fun r -> Dna.Sequence.to_string r.Dna.Fasta.seq) records)
+
+(* Either a FASTA genome (indexed on the fly) or a prebuilt .fmi index /
+   .fmi manifest; [--mmap] adopts prebuilt index files in place. *)
+let obtain_corpus ~mmap ~genome ~index_file =
+  let mode = if mmap then Some Fmindex.Fm_index.Mmap else None in
   match (genome, index_file) with
   | _, Some path -> (
-      match Core.Kmismatch.try_load_index path with
-      | Ok idx -> idx
+      match Core.Corpus.try_load ?mode path with
+      | Ok c -> c
       | Error e -> fail_typed ~path e)
-  | Some path, None -> Core.Kmismatch.of_sequence (read_genome path)
+  | Some path, None ->
+      Core.Corpus.mono (Core.Kmismatch.of_sequence (read_genome path))
   | None, None -> failwith "one of --genome or --index is required"
 
 (* --- observability plumbing ----------------------------------------- *)
@@ -88,7 +101,19 @@ let genome_arg =
 let index_arg =
   Cmdliner.Arg.(
     value & opt (some string) None
-    & info [ "i"; "index" ] ~docv:"FMI" ~doc:"Prebuilt index (see kmm index).")
+    & info [ "i"; "index" ] ~docv:"FMI"
+        ~doc:"Prebuilt index or shard manifest (see kmm index).")
+
+let mmap_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "mmap" ]
+        ~doc:
+          "Memory-map a prebuilt --index instead of copying it to the heap: \
+           cold start skips the O(n) payload verification and the OS shares \
+           the pages across processes.  Run kmm verify when integrity must \
+           be proven.  Ignored without --index (and for v1-v3 files, which \
+           load by copy).")
 
 (* --- generate ------------------------------------------------------- *)
 
@@ -188,15 +213,16 @@ let engine_conv =
   Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (Core.Kmismatch.engine_name e))
 
 let search_cmd =
-  let run genome index_file pattern k engine verbose trace metrics_out =
-    let idx = obtain_index ~genome ~index_file in
+  let run genome index_file mmap pattern k engine verbose trace metrics_out =
+    let corpus = obtain_corpus ~mmap ~genome ~index_file in
     with_obs ~trace ~metrics_out (fun obs ->
         let r =
-          (* The typed channel: an empty/non-ACGT pattern or k < 0 exits
-             with the Bad_input code (2) instead of an uncaught
-             exception backtrace. *)
+          (* The typed channel: an empty/non-ACGT pattern, k < 0, or a
+             pattern exceeding a sharded corpus's query limit exits with
+             the Bad_input code (2) instead of an uncaught exception
+             backtrace. *)
           match
-            Core.Kmismatch.try_run idx
+            Core.Corpus.try_run corpus
               (Core.Kmismatch.Query.make ~obs ~engine ~pattern ~k ())
           with
           | Ok r -> r
@@ -223,16 +249,16 @@ let search_cmd =
     (Cmd.info "search" ~doc:"String matching with k mismatches")
     Term.(
       ret
-        (const run $ genome_arg $ index_arg $ pattern $ k $ engine $ verbose
-       $ trace_arg $ metrics_arg))
+        (const run $ genome_arg $ index_arg $ mmap_arg $ pattern $ k $ engine
+       $ verbose $ trace_arg $ metrics_arg))
 
 (* --- map ------------------------------------------------------------ *)
 
 let map_cmd =
-  let run genome index_file reads k engine both_strands best jobs trace
+  let run genome index_file mmap reads k engine both_strands best jobs trace
       metrics_out =
     if jobs < 1 then failwith "--jobs must be >= 1";
-    let idx = obtain_index ~genome ~index_file in
+    let corpus = obtain_corpus ~mmap ~genome ~index_file in
     let records =
       match Dna.Fasta.try_read_file reads with
       | Ok rs -> rs
@@ -245,7 +271,10 @@ let map_cmd =
         let options =
           { Core.Mapper.default with engine; both_strands; domains = jobs; obs }
         in
-        let hits, summary = Core.Mapper.run options idx ~reads:inputs ~k in
+        let hits, summary =
+          Core.Mapper.run_target options (Core.Corpus.target corpus)
+            ~reads:inputs ~k
+        in
         let hits = if best then Core.Mapper.best_hits hits else hits in
         print_string (Core.Mapper.to_tsv hits);
         Format.eprintf
@@ -288,59 +317,176 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Map a read set against a genome")
     Term.(
       ret
-        (const run $ genome_arg $ index_arg $ reads $ k $ engine $ both $ best
-       $ jobs $ trace_arg $ metrics_arg))
+        (const run $ genome_arg $ index_arg $ mmap_arg $ reads $ k $ engine
+       $ both $ best $ jobs $ trace_arg $ metrics_arg))
 
 (* --- index ---------------------------------------------------------- *)
 
 let index_cmd =
-  let run genome out =
-    let g = read_genome genome in
-    let idx = Core.Kmismatch.of_sequence g in
-    Core.Kmismatch.save_index idx out;
-    Format.eprintf "indexed %d bp -> %s@." (Core.Kmismatch.length idx) out;
+  let run genome out shard_size overlap jobs =
+    if jobs < 1 then failwith "--jobs must be >= 1";
+    (match shard_size with
+    | Some s when s < 1 -> failwith "--shard-size must be >= 1"
+    | _ -> ());
+    if overlap < 0 then failwith "--shard-overlap must be >= 0";
+    let corpus =
+      match shard_size with
+      | None ->
+          Core.Corpus.mono (Core.Kmismatch.of_sequence (read_genome genome))
+      | Some _ ->
+          (* Sharded corpora index every FASTA record, concatenated. *)
+          Core.Corpus.build ?shard_size ~overlap ~domains:jobs
+            (read_genome_all genome)
+    in
+    Core.Corpus.save corpus out;
+    (match Core.Corpus.overlap corpus with
+    | None ->
+        Format.eprintf "indexed %d bp -> %s@." (Core.Corpus.length corpus) out
+    | Some ov ->
+        Format.eprintf "indexed %d bp -> %s (%d shard%s, overlap %d)@."
+          (Core.Corpus.length corpus)
+          out
+          (Core.Corpus.nshards corpus)
+          (if Core.Corpus.nshards corpus = 1 then "" else "s")
+          ov);
     `Ok ()
   in
   let genome =
     Arg.(required & opt (some string) None & info [ "g"; "genome" ] ~docv:"FASTA" ~doc:"Genome.")
   in
   let out =
-    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FMI" ~doc:"Index file.")
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FMI"
+          ~doc:"Index file (with --shard-size: the manifest; shard files land beside it).")
+  in
+  let shard_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-size" ] ~docv:"N"
+          ~doc:
+            "Split the corpus into shards of $(docv) bp, indexed in parallel \
+             and tied together by a manifest.  Every FASTA record is indexed \
+             (concatenated); without this flag only the first record is, as \
+             a single monolithic index.")
+  in
+  let overlap =
+    Arg.(
+      value
+      & opt int Core.Corpus.default_overlap
+      & info [ "shard-overlap" ] ~docv:"N"
+          ~doc:
+            "Bases each shard stores beyond its own range so boundary-straddling \
+             matches are found; queries longer than N+1 bp are refused.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Core.Work_pool.default_domains ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains building shards (default: the number of cores).")
   in
   Cmd.v
-    (Cmd.info "index" ~doc:"Build and save an FM-index of a genome")
-    Term.(ret (const run $ genome $ out))
-
-(* --- verify --------------------------------------------------------- *)
-
-let verify_cmd =
-  let run index_file quiet =
-    match Fmindex.Fm_index.try_load index_file with
-    | Error e -> fail_typed ~path:index_file e
-    | Ok fm ->
-        if not quiet then begin
-          Printf.printf "%s: ok (%d bp)\n" index_file (Fmindex.Fm_index.length fm);
-          List.iter
-            (fun (what, bytes) -> Printf.printf "  %-22s %d bytes\n" what bytes)
-            (Fmindex.Fm_index.space_report fm)
-        end;
-        `Ok ()
-  in
-  let index_file =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FMI" ~doc:"Index file.")
-  in
-  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Exit code only.") in
-  Cmd.v
-    (Cmd.info "verify" ~doc:"Check an index file's integrity"
+    (Cmd.info "index" ~doc:"Build and save an FM-index of a genome"
        ~man:
          [
            `S Manpage.s_description;
            `P
-             "Loads the index, checking magic, version, header sanity, per-section \
-              CRC-32 checksums and the whole-file trailer (format v3; v1/v2 files \
-              are structurally validated).  Prints a space report on success.  The \
-              exit code distinguishes the failure: 0 ok, 3 not an index file, 4 \
-              unsupported version, 5 truncated, 6 corrupt, 7 I/O error.";
+             "Builds the FM-index and writes it in the current on-disk format \
+              (v4: 8-byte-aligned CRC-guarded sections, loadable by copy or by \
+              mmap).  With --shard-size the corpus is cut into overlapping \
+              shards built in parallel across --jobs domains and saved as one \
+              index file per shard plus a manifest; search/map/serve accept \
+              the manifest wherever they accept an index.";
+         ])
+    Term.(ret (const run $ genome $ out $ shard_size $ overlap $ jobs))
+
+(* --- verify --------------------------------------------------------- *)
+
+let verify_cmd =
+  let verify_plain path quiet =
+    match Fmindex.Fm_index.try_load path with
+    | Error e -> fail_typed ~path e
+    | Ok fm ->
+        if not quiet then begin
+          Printf.printf "%s: ok (%d bp)\n" path (Fmindex.Fm_index.length fm);
+          List.iter
+            (fun (what, bytes) -> Printf.printf "  %-26s %d bytes\n" what bytes)
+            (Fmindex.Fm_index.space_report fm)
+        end
+  in
+  let verify_manifest path quiet =
+    match Core.Corpus.try_read_manifest path with
+    | Error e -> fail_typed ~path e
+    | Ok m ->
+        let dir = Filename.dirname path in
+        if not quiet then
+          Printf.printf "%s: manifest ok (%d bp corpus, %d shard%s, overlap %d)\n"
+            path m.Core.Corpus.m_total
+            (Array.length m.Core.Corpus.m_entries)
+            (if Array.length m.Core.Corpus.m_entries = 1 then "" else "s")
+            m.Core.Corpus.m_overlap;
+        Array.iteri
+          (fun i e ->
+            let file = Filename.concat dir e.Core.Corpus.e_file in
+            let image =
+              match In_channel.with_open_bin file In_channel.input_all with
+              | s -> s
+              | exception (Sys_error _ as exn) ->
+                  fail_typed ~path:file (Kmm_error.Io exn)
+            in
+            (* The manifest's own CRC of the shard image: catches a shard
+               file swapped or rewritten behind the manifest's back, which
+               the shard's internal CRCs alone cannot. *)
+            if Fmindex.Crc32.string image <> e.Core.Corpus.e_crc then
+              fail_typed ~path:file
+                (Kmm_error.Corrupt
+                   ( Kmm_error.Header,
+                     "shard image checksum disagrees with the manifest" ));
+            match Fmindex.Fm_index.try_of_string image with
+            | Error err -> fail_typed ~path:file err
+            | Ok fm ->
+                if Fmindex.Fm_index.length fm <> e.Core.Corpus.e_stored then
+                  fail_typed ~path:file
+                    (Kmm_error.Corrupt
+                       ( Kmm_error.Header,
+                         "shard length disagrees with the manifest" ));
+                if not quiet then
+                  Printf.printf "  shard %03d: ok (%d bp at offset %d, %s)\n" i
+                    e.Core.Corpus.e_stored e.Core.Corpus.e_off
+                    e.Core.Corpus.e_file)
+          m.Core.Corpus.m_entries
+  in
+  let run index_file quiet =
+    if Core.Corpus.is_manifest index_file then verify_manifest index_file quiet
+    else verify_plain index_file quiet;
+    `Ok ()
+  in
+  let index_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FMI" ~doc:"Index file or shard manifest.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Exit code only.") in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check an index or manifest file's integrity"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Loads the index by copy, checking magic, version, header sanity, \
+              per-section CRC-32 checksums, the whole-file trailer and the \
+              structural recount (format v4; v1-v3 files are validated by their \
+              own formats' checks) — everything an mmap load deliberately skips. \
+              Given a shard manifest, validates the manifest (header CRC, shard \
+              geometry) and then every shard file against both the manifest's \
+              recorded CRC-32 and the shard's own internal checks.  Prints a \
+              space report on success.  The exit code distinguishes the failure: \
+              0 ok, 3 not an index file, 4 unsupported version, 5 truncated, 6 \
+              corrupt, 7 I/O error.";
          ])
     Term.(ret (const run $ index_file $ quiet))
 
@@ -541,10 +687,10 @@ let bench_cmd =
 (* --- serve ----------------------------------------------------------- *)
 
 let serve_cmd =
-  let run genome index_file socket jobs batch_max max_pattern max_k max_hits
-      max_frame quiet trace metrics_out =
+  let run genome index_file mmap socket jobs batch_max max_pattern max_k
+      max_hits max_frame quiet trace metrics_out =
     if jobs < 1 then failwith "--jobs must be >= 1";
-    let idx = obtain_index ~genome ~index_file in
+    let corpus = obtain_corpus ~mmap ~genome ~index_file in
     let limits =
       { Kmm_server.Protocol.max_pattern; max_k; max_hits; max_frame }
     in
@@ -559,7 +705,8 @@ let serve_cmd =
       }
     in
     (match
-       Kmm_server.Server.serve ?trace_out:trace ?metrics_out:metrics_out cfg idx
+       Kmm_server.Server.serve ?trace_out:trace ?metrics_out:metrics_out cfg
+         corpus
      with
     | () -> ()
     | exception Kmm_error.Error e -> fail_typed e);
@@ -624,9 +771,9 @@ let serve_cmd =
          ])
     Term.(
       ret
-        (const run $ genome_arg $ index_arg $ socket $ jobs $ batch_max
-       $ max_pattern $ max_k $ max_hits $ max_frame $ quiet $ trace_arg
-       $ metrics_arg))
+        (const run $ genome_arg $ index_arg $ mmap_arg $ socket $ jobs
+       $ batch_max $ max_pattern $ max_k $ max_hits $ max_frame $ quiet
+       $ trace_arg $ metrics_arg))
 
 (* --- client ----------------------------------------------------------- *)
 

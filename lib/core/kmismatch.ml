@@ -15,26 +15,37 @@ let engine_name = function
 let engine_of_string s =
   List.find_opt (fun e -> engine_name e = String.lowercase_ascii s) all_engines
 
+(* The forward text and the suffix tree are derived views: the FM-index
+   of the reversed text is the only component persisted, and an index
+   loaded by mmap should not pay O(n) string materialization up front.
+   Both memos are domain-safe ([Storage.Memo], not [Lazy.t], whose
+   concurrent forcing is undefined), so a mapper fan-out may race on the
+   first force without corruption. *)
 type index = {
-  text : string;
+  text : string Fmindex.Storage.Memo.t;
   fm_rev : Fmindex.Fm_index.t;
-  tree : Suffix.Suffix_tree.t Lazy.t;
+  tree : Suffix.Suffix_tree.t Fmindex.Storage.Memo.t;
 }
+
+let make_index ~text_memo fm_rev =
+  let tree =
+    Fmindex.Storage.Memo.make (fun () ->
+        Suffix.Suffix_tree.build (Fmindex.Storage.Memo.force text_memo))
+  in
+  { text = text_memo; fm_rev; tree }
 
 let build_index ?occ_rate ?sa_rate raw =
   let text = Dna.Sequence.to_string (Dna.Sequence.of_string raw) in
   let rev = Dna.Sequence.to_string (Dna.Sequence.rev (Dna.Sequence.of_string text)) in
-  {
-    text;
-    fm_rev = Fmindex.Fm_index.build ?occ_rate ?sa_rate rev;
-    tree = lazy (Suffix.Suffix_tree.build text);
-  }
+  make_index
+    ~text_memo:(Fmindex.Storage.Memo.make (fun () -> text))
+    (Fmindex.Fm_index.build ?occ_rate ?sa_rate rev)
 
 let of_sequence seq = build_index (Dna.Sequence.to_string seq)
-let text t = t.text
-let length t = String.length t.text
+let text t = Fmindex.Storage.Memo.force t.text
+let length t = Fmindex.Fm_index.length t.fm_rev
 let fm_rev t = t.fm_rev
-let suffix_tree t = Lazy.force t.tree
+let suffix_tree t = Fmindex.Storage.Memo.force t.tree
 
 module Query = struct
   type t = {
@@ -122,7 +133,7 @@ let run_validated t (q : Query.t) ~obs ~t0 ~pattern =
         (* A pattern longer than the text can match nowhere.  Guard once
            for every engine: the tree/BWT engines are not written for
            this degenerate case and used to fall through to it. *)
-        if String.length pattern > String.length t.text then []
+        if String.length pattern > length t then []
         else
           let config = q.config and fm = t.fm_rev in
           match q.engine with
@@ -130,11 +141,11 @@ let run_validated t (q : Query.t) ~obs ~t0 ~pattern =
           | S_tree -> S_tree.search ~use_delta:true ~stats ~obs fm ~pattern ~k
           | S_tree_no_delta ->
               S_tree.search ~use_delta:false ~stats ~obs fm ~pattern ~k
-          | Hybrid -> Hybrid.search ~stats fm ~text:t.text ~pattern ~k
-          | Cole -> Cole.search ~stats (Lazy.force t.tree) ~pattern ~k
-          | Amir -> Amir.search ~stats ~pattern ~k t.text
-          | Kangaroo -> Stringmatch.Kangaroo.search ~pattern ~text:t.text ~k
-          | Naive -> Stringmatch.Hamming.search ~pattern ~text:t.text ~k)
+          | Hybrid -> Hybrid.search ~stats fm ~text:(text t) ~pattern ~k
+          | Cole -> Cole.search ~stats (suffix_tree t) ~pattern ~k
+          | Amir -> Amir.search ~stats ~pattern ~k (text t)
+          | Kangaroo -> Stringmatch.Kangaroo.search ~pattern ~text:(text t) ~k
+          | Naive -> Stringmatch.Hamming.search ~pattern ~text:(text t) ~k)
   in
   let t2 = Obs.Clock.now_ns () in
   if Obs.enabled obs then begin
@@ -183,13 +194,17 @@ let positions ?stats t ~engine ~pattern ~k =
 let save_index t path = Fmindex.Fm_index.save t.fm_rev path
 
 let of_fm fm_rev =
-  let text =
-    Dna.Sequence.to_string
-      (Dna.Sequence.rev (Dna.Sequence.of_string (Fmindex.Fm_index.text fm_rev)))
-  in
-  { text; fm_rev; tree = lazy (Suffix.Suffix_tree.build text) }
+  (* Loaded indexes derive the forward text on demand: the FM-index keeps
+     only the 2-bit packed reverse, and an mmap'd load must stay O(1). *)
+  make_index
+    ~text_memo:
+      (Fmindex.Storage.Memo.make (fun () ->
+           Dna.Sequence.to_string
+             (Dna.Sequence.rev
+                (Dna.Sequence.of_string (Fmindex.Fm_index.text fm_rev)))))
+    fm_rev
 
-let load_index path = of_fm (Fmindex.Fm_index.load path)
+let load_index ?mode path = of_fm (Fmindex.Fm_index.load ?mode path)
 
-let try_load_index path =
-  Result.map of_fm (Fmindex.Fm_index.try_load path)
+let try_load_index ?mode path =
+  Result.map of_fm (Fmindex.Fm_index.try_load ?mode path)

@@ -28,10 +28,22 @@ val build_index : ?occ_rate:int -> ?sa_rate:int -> string -> index
     (used only by [Cole]) lazily. *)
 
 val of_sequence : Dna.Sequence.t -> index
+
 val text : index -> string
+(** The forward target text.  For a loaded index this is derived from
+    the FM component on first use and cached behind a domain-safe memo
+    (so an mmap'd load stays O(1) until an engine actually needs the
+    string). *)
+
 val length : index -> int
+(** Target length, answered from the FM component without materializing
+    the text. *)
+
 val fm_rev : index -> Fmindex.Fm_index.t
+
 val suffix_tree : index -> Suffix.Suffix_tree.t
+(** The suffix tree of the forward text, built on first use (domain-safe
+    memo). *)
 
 (** {1 Queries and responses}
 
@@ -128,11 +140,14 @@ val save_index : index -> string -> unit
 (** Persist the index (its FM component; ~n/4 bytes).  The suffix tree is
     rebuilt lazily on demand after {!load_index}. *)
 
-val load_index : string -> index
+val load_index : ?mode:Fmindex.Fm_index.mode -> string -> index
 (** Reload an index written by {!save_index}.  Raises [Failure] on
-    invalid files. *)
+    invalid files.  [mode] (default [Copy]) is forwarded to
+    {!Fmindex.Fm_index.load}: [Mmap] adopts the bulk sections in place
+    for O(1) cold start. *)
 
-val try_load_index : string -> (index, Kmm_error.t) result
+val try_load_index :
+  ?mode:Fmindex.Fm_index.mode -> string -> (index, Kmm_error.t) result
 (** {!load_index} with the failure reported as a typed error (see
     {!Fmindex.Fm_index.try_load}): corruption, truncation, version and
     I/O problems each get their own constructor instead of a [Failure]

@@ -36,11 +36,48 @@ let default =
     obs = Obs.noop;
   }
 
+(* What the mapper actually needs from the thing it maps against — a
+   monolithic {!Kmismatch.index} or a sharded {!Corpus.t} — abstracted so
+   the fan-out/merge machinery is written once.  [tgt_run] must be pure
+   with respect to the target (safe to call from any domain) and report
+   hits in the target's global coordinates. *)
+type target = {
+  tgt_length : int;  (** total reference length (reporting) *)
+  tgt_max_read : int;  (** longest read the target can answer *)
+  tgt_limit_msg : int -> string;  (** skip reason for an oversize read *)
+  tgt_prepare : Kmismatch.engine -> unit;
+      (** force shared derived state before fan-out *)
+  tgt_run : Kmismatch.Query.t -> (Kmismatch.Response.t, Kmm_error.t) result;
+}
+
+let target_of_index index =
+  let len = Kmismatch.length index in
+  {
+    tgt_length = len;
+    tgt_max_read = len;
+    tgt_limit_msg =
+      (fun m ->
+        Printf.sprintf "read of %d bp exceeds the %d bp reference" m len);
+    tgt_prepare =
+      (fun engine ->
+        (* The memos under the text and the suffix tree are domain-safe,
+           but forcing the one the engine needs before fan-out keeps the
+           workers from serializing on its first force. *)
+        match engine with
+        | Kmismatch.Cole -> ignore (Kmismatch.suffix_tree index)
+        | Kmismatch.Hybrid | Kmismatch.Amir | Kmismatch.Kangaroo
+        | Kmismatch.Naive ->
+            ignore (Kmismatch.text index)
+        | Kmismatch.M_tree | Kmismatch.S_tree | Kmismatch.S_tree_no_delta ->
+            ());
+    tgt_run = (fun q -> Kmismatch.try_run index q);
+  }
+
 (* Classify a read the engines cannot process, so one bad record degrades
    to a [skipped] entry instead of an exception that aborts the batch.
    The checks mirror the engines' preconditions: nonempty, ACGT-only
-   (case folded), and no longer than the reference. *)
-let validate_read ~text_len sequence =
+   (case folded), and no longer than the target can answer. *)
+let validate_read ~target sequence =
   let m = String.length sequence in
   if m = 0 then Error (Kmm_error.Bad_input "empty read")
   else begin
@@ -55,26 +92,27 @@ let validate_read ~text_len sequence =
           (Kmm_error.Bad_input
              (Printf.sprintf "invalid base %C at offset %d" c i))
     | None ->
-        if m > text_len then
-          Error
-            (Kmm_error.Bad_input
-               (Printf.sprintf "read of %d bp exceeds the %d bp reference" m
-                  text_len))
+        if m > target.tgt_max_read then
+          Error (Kmm_error.Bad_input (target.tgt_limit_msg m))
         else Ok ()
   end
 
+(* A query the target refused after validation passed — surfaced as the
+   read's own skip reason, never as a batch abort. *)
+exception Skip of Kmm_error.t
+
 (* Map one read: all forward hits, then all reverse-complement hits, in
-   the order the engine reports them.  Pure with respect to the index,
+   the order the engine reports them.  Pure with respect to the target,
    so reads can be fanned out across domains freely. *)
-let map_one ~stats ~obs ~engine ~both_strands index ~k (read_id, sequence) =
+let map_one ~stats ~obs ~engine ~both_strands target ~k (read_id, sequence) =
   let search strand pattern =
-    let r =
-      Kmismatch.run index (Kmismatch.Query.make ~obs ~engine ~pattern ~k ())
-    in
-    Stats.merge ~into:stats r.Kmismatch.Response.stats;
-    List.map
-      (fun (pos, distance) -> { read_id; pos; strand; distance })
-      r.Kmismatch.Response.hits
+    match target.tgt_run (Kmismatch.Query.make ~obs ~engine ~pattern ~k ()) with
+    | Error e -> raise (Skip e)
+    | Ok r ->
+        Stats.merge ~into:stats r.Kmismatch.Response.stats;
+        List.map
+          (fun (pos, distance) -> { read_id; pos; strand; distance })
+          r.Kmismatch.Response.hits
   in
   let fwd = search `Forward sequence in
   let rev =
@@ -90,7 +128,7 @@ let map_one ~stats ~obs ~engine ~both_strands index ~k (read_id, sequence) =
   in
   fwd @ rev
 
-let run opts index ~reads ~k =
+let run_target opts target ~reads ~k =
   let { engine; both_strands; domains; chunk_size; obs } = opts in
   if domains < 1 then invalid_arg "Mapper.run: domains must be >= 1";
   if chunk_size < 1 then invalid_arg "Mapper.run: chunk_size must be >= 1";
@@ -100,11 +138,9 @@ let run opts index ~reads ~k =
   let bounds = Work_pool.chunks ~total:n ~chunk_size in
   (* Never keep more domains than there are chunks of work. *)
   let domains = max 1 (min domains (Array.length bounds)) in
-  (* The Cole engine is the only one touching the index's lazily built
-     suffix tree; force it before fan-out ([Lazy.force] from several
-     domains at once is unsafe). *)
-  if domains > 1 && engine = Kmismatch.Cole then
-    ignore (Kmismatch.suffix_tree index);
+  (* Force shared derived state (suffix tree, unpacked text) before the
+     fan-out so workers don't serialize on its first use. *)
+  if domains > 1 then target.tgt_prepare engine;
   (* Per-domain counters and sinks, merged in worker-index order at the
      end, so the reported totals match a sequential run exactly.
      ([Obs.fork] of the noop sink is noop: observability off costs one
@@ -119,7 +155,6 @@ let run opts index ~reads ~k =
      seq≡par guarantee holds for the surviving reads. *)
   let per_read = Array.make n [] in
   let skip_slot = Array.make n None in
-  let text_len = Kmismatch.length index in
   let t1 = Obs.Clock.now_ns () in
   Work_pool.with_pool ~domains (fun pool ->
       Work_pool.run ~obs:worker_obs pool ~tasks:(Array.length bounds)
@@ -129,13 +164,13 @@ let run opts index ~reads ~k =
           let start, len = bounds.(task) in
           for i = start to start + len - 1 do
             let _, sequence = reads.(i) in
-            match validate_read ~text_len sequence with
+            match validate_read ~target sequence with
             | Error e ->
                 skip_slot.(i) <- Some e;
                 Obs.incr o "map.reads_skipped"
             | Ok () -> (
                 let map () =
-                  map_one ~stats ~obs:o ~engine ~both_strands index ~k
+                  map_one ~stats ~obs:o ~engine ~both_strands target ~k
                     reads.(i)
                 in
                 match
@@ -150,6 +185,11 @@ let run opts index ~reads ~k =
                          any domain count. *)
                       Obs.record o "map.read_hits" (List.length hits)
                     end
+                | exception Skip e ->
+                    (* The target refused the query after validation —
+                       the read's own typed skip, not a batch abort. *)
+                    Obs.incr o "map.reads_skipped";
+                    skip_slot.(i) <- Some e
                 | exception e ->
                     (* An engine exception on a validated read is a bug,
                        but it still only costs this one read. *)
@@ -205,6 +245,8 @@ let run opts index ~reads ~k =
       stats;
       timings;
     } )
+
+let run opts index ~reads ~k = run_target opts (target_of_index index) ~reads ~k
 
 let map_reads ?(engine = Kmismatch.M_tree) ?(both_strands = true) ?(domains = 1)
     ?(chunk_size = default_chunk_size) ?stats index ~reads ~k =

@@ -60,6 +60,40 @@ val default : options
     default_chunk_size; obs = Obs.noop }] — override fields with
     [{ default with ... }]. *)
 
+(** {1 Map targets}
+
+    The mapper's fan-out/merge machinery is written once against an
+    abstract {!target} — what to search, how long a read it can answer,
+    and what to force before spawning workers.  {!target_of_index} wraps
+    a monolithic index; [Corpus.target] wraps a sharded corpus. *)
+
+type target = {
+  tgt_length : int;  (** total reference length *)
+  tgt_max_read : int;
+      (** longest read the target can answer; anything longer becomes a
+          typed [skipped] entry *)
+  tgt_limit_msg : int -> string;
+      (** [tgt_limit_msg m] is the skip reason for an [m] bp oversize
+          read *)
+  tgt_prepare : Kmismatch.engine -> unit;
+      (** called once before fan-out (when [domains > 1]) to force
+          derived state — suffix tree, unpacked text — the given engine
+          will need, so workers don't serialize on its first use *)
+  tgt_run : Kmismatch.Query.t -> (Kmismatch.Response.t, Kmm_error.t) result;
+      (** answer one query with hits in global coordinates; must be safe
+          to call from any domain.  An [Error] skips the read (typed),
+          never aborts the batch. *)
+}
+
+val target_of_index : Kmismatch.index -> target
+(** The monolithic target: queries go to {!Kmismatch.try_run}, the read
+    limit is the text length. *)
+
+val run_target :
+  options -> target -> reads:(int * string) list -> k:int -> hit list * summary
+(** {!run} against an abstract {!target}; all guarantees of {!run}
+    (determinism, fail-soft, observability) hold unchanged. *)
+
 val run :
   options ->
   Kmismatch.index ->

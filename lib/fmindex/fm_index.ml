@@ -1,19 +1,28 @@
 type interval = int * int
 
-(* The index owns no byte-per-character BWT copy: the packed payload
-   lives inside [occ]'s interleaved rank blocks (2 bits/base), the
-   sentinel row is tracked out-of-band, and suffix-array samples are a
-   marked-row bitvector with a rank directory plus a flat array —
-   [position_of_row] allocates nothing. *)
+module A1 = Bigarray.Array1
+
+(* The index owns no byte-per-character copy of anything: the BWT
+   payload lives inside [occ]'s interleaved rank blocks (2 bits/base),
+   the forward text is kept 2-bit packed with the unpacked string
+   materialized on demand behind a domain-safe memo, the sentinel row is
+   tracked out-of-band, and suffix-array samples are a marked-row
+   bitvector with a rank directory plus a flat word array —
+   [position_of_row] allocates nothing.  Every bulk buffer is a
+   [Storage.t]/[Storage.words], so a loaded index is either heap-owned
+   (Copy mode, any format) or a set of views over an mmap'd format-v4
+   file (Mmap mode) — the query paths cannot tell the difference. *)
 type t = {
-  text : string;
+  n : int;  (* text length *)
+  ptext : Packed_text.t;  (* forward text, 2-bit packed *)
+  text : string Storage.Memo.t;  (* unpacked text, built on first use *)
   occ : Occ.t;
   c_array : int array;  (* c_array.(c) = # characters with code < c in BWT *)
   sa_rate : int;
   sentinel_row : int;
-  marks : Bytes.t;  (* bit per row 0..n: row sampled? *)
+  marks : Storage.t;  (* bit per row 0..n: row sampled? *)
   mark_cum : int array;  (* sampled rows before each 64-row chunk *)
-  samples : int array;  (* text position of each sampled row, row order *)
+  samples : Storage.words;  (* text position of each sampled row, row order *)
 }
 
 let sigma = Dna.Alphabet.sigma
@@ -77,11 +86,11 @@ let pop8 = Array.init 256 (fun b ->
     let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
     go b 0)
 
-let mark_test marks row = (Char.code (Bytes.get marks (row lsr 3)) lsr (row land 7)) land 1 = 1
+let mark_test (marks : Storage.t) row =
+  (A1.get marks (row lsr 3) lsr (row land 7)) land 1 = 1
 
-let mark_set marks row =
-  Bytes.set marks (row lsr 3)
-    (Char.chr (Char.code (Bytes.get marks (row lsr 3)) lor (1 lsl (row land 7))))
+let mark_set (marks : Storage.t) row =
+  A1.set marks (row lsr 3) (A1.get marks (row lsr 3) lor (1 lsl (row land 7)))
 
 (* Number of marked rows strictly before [row]. *)
 let mark_rank t row =
@@ -89,25 +98,25 @@ let mark_rank t row =
   let acc = ref (Array.unsafe_get t.mark_cum chunk) in
   let first_byte = chunk lsl 3 in
   for b = first_byte to (row lsr 3) - 1 do
-    acc := !acc + Array.unsafe_get pop8 (Char.code (Bytes.unsafe_get t.marks b))
+    acc := !acc + Array.unsafe_get pop8 (A1.unsafe_get t.marks b)
   done;
   let partial = row land 7 in
   if partial <> 0 then
     acc :=
       !acc
       + Array.unsafe_get pop8
-          (Char.code (Bytes.unsafe_get t.marks (row lsr 3)) land ((1 lsl partial) - 1));
+          (A1.unsafe_get t.marks (row lsr 3) land ((1 lsl partial) - 1));
   !acc
 
 (* Build the rank directory over a marks bitvector of [rows] rows and
    return the total number of marked rows. *)
-let build_mark_cum marks rows =
+let build_mark_cum (marks : Storage.t) rows =
   let nchunks = (rows + 63) / 64 in
   let cum = Array.make (max 1 nchunks) 0 in
   let total = ref 0 in
-  for b = 0 to Bytes.length marks - 1 do
+  for b = 0 to Storage.length marks - 1 do
     if b land 7 = 0 && b lsr 3 < nchunks then cum.(b lsr 3) <- !total;
-    total := !total + pop8.(Char.code (Bytes.get marks b))
+    total := !total + pop8.(A1.get marks b)
   done;
   (cum, !total)
 
@@ -122,6 +131,11 @@ let c_array_of_counts counts =
     sum := !sum + counts.(c)
   done;
   c_array
+
+(* Memo for an index whose text string is not in hand: unpack the 2-bit
+   payload on first use. *)
+let text_memo_of_packed ptext =
+  Storage.Memo.make (fun () -> Packed_text.to_string ptext)
 
 let build ?(occ_rate = 32) ?(sa_rate = 16) text =
   if sa_rate <= 0 then invalid_arg "Fm_index.build: sa_rate must be positive";
@@ -139,7 +153,7 @@ let build ?(occ_rate = 32) ?(sa_rate = 16) text =
      row 0 -> n (the sentinel suffix), row i+1 -> sa.(i).  Sample rows
      whose position is a multiple of sa_rate so any locate walk ends
      within sa_rate LF steps. *)
-  let marks = Bytes.make ((n + 8) / 8) '\000' in
+  let marks = Storage.create ((n + 8) / 8) in
   mark_set marks 0;
   let nsamples = ref 1 in
   for i = 0 to n - 1 do
@@ -148,21 +162,32 @@ let build ?(occ_rate = 32) ?(sa_rate = 16) text =
       incr nsamples
     end
   done;
-  let samples = Array.make !nsamples 0 in
-  samples.(0) <- n;
+  let samples = Storage.create_words !nsamples in
+  Storage.set_word samples 0 n;
   let j = ref 1 in
   for i = 0 to n - 1 do
     if sa.(i) mod sa_rate = 0 then begin
-      samples.(!j) <- sa.(i);
+      Storage.set_word samples !j sa.(i);
       incr j
     end
   done;
   let mark_cum, total = build_mark_cum marks (n + 1) in
   assert (total = !nsamples);
-  { text; occ; c_array; sa_rate; sentinel_row; marks; mark_cum; samples }
+  {
+    n;
+    ptext = Packed_text.of_string text;
+    text = Storage.Memo.make (fun () -> text);
+    occ;
+    c_array;
+    sa_rate;
+    sentinel_row;
+    marks;
+    mark_cum;
+    samples;
+  }
 
-let length t = String.length t.text
-let text t = t.text
+let length t = t.n
+let text t = Storage.Memo.force t.text
 let bwt t = String.init (Occ.length t.occ) (fun row -> Dna.Alphabet.of_code (Occ.get t.occ row))
 let whole t = (0, Occ.length t.occ)
 
@@ -254,12 +279,21 @@ let lf t row =
   let c, r = Occ.char_rank t.occ row in
   t.c_array.(c) + r
 
+(* A legitimate LF walk reaches a marked row within [sa_rate] steps
+   (positions decrease by one per step and every sa_rate-th is marked).
+   A corrupted Occ payload — reachable only through an mmap'd load,
+   which skips the payload CRCs — could otherwise cycle through
+   unmarked rows forever; the bound turns that hang into an exception. *)
+let walk_overrun () =
+  failwith "Fm_index.locate: LF walk exceeded the sample rate (corrupt index?)"
+
 let position_of_row t row =
   if Telemetry.is_enabled () then begin
     let row = ref row and steps = ref 0 in
     while not (mark_test t.marks !row) do
       row := lf t !row;
-      Stdlib.incr steps
+      Stdlib.incr steps;
+      if !steps > t.sa_rate then walk_overrun ()
     done;
     let tc = Telemetry.cell () in
     tc.Telemetry.locate_walks <- tc.Telemetry.locate_walks + 1;
@@ -267,11 +301,12 @@ let position_of_row t row =
     (* Each LF step is one rank over the block holding its row. *)
     tc.Telemetry.rank_ops <- tc.Telemetry.rank_ops + !steps;
     tc.Telemetry.block_decodes <- tc.Telemetry.block_decodes + !steps;
-    t.samples.(mark_rank t !row) + !steps
+    Storage.word t.samples (mark_rank t !row) + !steps
   end
   else begin
     let rec walk row steps =
-      if mark_test t.marks row then t.samples.(mark_rank t row) + steps
+      if mark_test t.marks row then Storage.word t.samples (mark_rank t row) + steps
+      else if steps >= t.sa_rate then walk_overrun ()
       else walk (lf t row) (steps + 1)
     in
     walk row 0
@@ -302,10 +337,11 @@ let find_all t pat =
 let space_report t =
   [
     ("packed bwt + rank blocks", Occ.space_bytes t.occ);
-    ("sa marks (bitvector + rank dir)", Bytes.length t.marks + (8 * Array.length t.mark_cum));
-    ("sa samples", 8 * Array.length t.samples);
+    ("sa marks (bitvector + rank dir)",
+     Storage.length t.marks + (8 * Array.length t.mark_cum));
+    ("sa samples", 8 * Storage.length_words t.samples);
     ("c array", 8 * sigma);
-    ("text (1 byte/char)", String.length t.text);
+    ("packed text (2 bit/base)", Storage.length (Packed_text.storage t.ptext));
   ]
 
 let extend_all t (lo, hi) ~los ~his =
@@ -334,34 +370,46 @@ let extend_all t (lo, hi) ~los ~his =
 
 (* --- persistence ----------------------------------------------------- *)
 
-(* Format v3 (current): a one-line ASCII header
-       "kmm-fm-index 3 <n> <occ_rate> <sa_rate> <sentinel_row> <nsamples>
-        <blocks_bytes> <super_len>\n"
-   followed by five binary little-endian sections, {e each} immediately
-   followed by the 4-byte little-endian CRC-32 of its payload:
+(* Format v4 (current): three ASCII header lines
+
+       "kmm-fm-index 4 <n> <occ_rate> <sa_rate> <sentinel_row> <nsamples>
+        <blocks_bytes> <super_len> <a_total> <c_total> <g_total> <t_total>\n"
+       "sections" + 5x " %012d %012d %08x" (offset, length, CRC-32) + "\n"
+       "hcrc %08x\n"   (CRC-32 of the two preceding lines)
+
+   followed by the same five binary little-endian sections as v2/v3 —
      1. packed text          ceil(n/4) bytes (2-bit codes, 4 bases/byte)
      2. occ blocks           <blocks_bytes> bytes (interleaved counts+payload)
      3. occ superblocks      <super_len> * 8 bytes (int64)
      4. sa marks bitvector   ceil((n+1)/8) bytes
      5. sa samples           <nsamples> * 8 bytes (int64)
-   and an 8-byte trailer: the ASCII magic "kmm3" plus the 4-byte LE
-   CRC-32 of {e every} preceding byte of the file (header included).
+   — each placed at the 8-byte-aligned offset its table entry records
+   (zero padding in the gaps), and an 8-byte trailer: the ASCII magic
+   "kmm4" plus the 4-byte LE CRC-32 of every preceding byte of the file.
 
-   The section checksums attribute any corruption to the section that
-   holds it; the whole-file trailer covers the bytes the section sums
-   cannot (the header and the checksum fields themselves) and doubles as
-   an end-of-file marker, so any single-byte corruption or truncation is
-   detected deterministically — the structural validation below (Occ
-   checkpoint recount, text/BWT totals cross-check, SA shape checks) is
-   then defense in depth, not the only line.
+   The alignment + explicit offset table is what makes the file
+   mmap-adoptable: every section can be turned into a Bigarray view in
+   place (the int64 sections need 8-byte alignment), so [load
+   ~mode:Mmap] touches O(header + superblocks + marks) bytes instead of
+   O(file).  The header CRC lets both readers trust the geometry before
+   doing anything with it; the per-section CRCs attribute corruption;
+   the whole-file trailer covers what they cannot (header, padding, the
+   checksum fields themselves) and doubles as an end-of-file marker.
+   The Copy reader checks everything, so any single-byte corruption or
+   truncation is detected deterministically; the Mmap reader checks the
+   header CRC, geometry, file size and trailer magic but — by design —
+   not the bulk payload CRCs, trading detection of payload rot for the
+   cold-start win ([kmm verify] runs the full Copy validation).
 
    Loading adopts the buffers directly; no BWT inversion, no LF walk.
-   The v2 format (same sections, no checksums) and the v1 format (header
-   version "1", payload = packed BWT only, reconstructing reader) are
-   still read, guarded by committed fixtures. *)
+   The v3 format (one header line + sections + CRCs, unaligned), the v2
+   format (same, no checksums) and the v1 format (packed BWT only,
+   reconstructing reader) are still read, guarded by committed
+   fixtures. *)
 
 let magic = "kmm-fm-index"
-let trailer_magic = "kmm3"
+let trailer_magic_v3 = "kmm3"
+let trailer_magic_v4 = "kmm4"
 
 let bytes_of_ints a =
   let b = Bytes.create (8 * Array.length a) in
@@ -383,26 +431,86 @@ let int_of_le32 s pos =
 (* --- serialization ---------------------------------------------------- *)
 
 let header_line ~version t =
-  let n = String.length t.text in
-  Printf.sprintf "%s %d %d %d %d %d %d %d %d\n" magic version n (Occ.rate t.occ)
-    t.sa_rate t.sentinel_row (Array.length t.samples)
-    (Bytes.length (Occ.raw_blocks t.occ))
+  Printf.sprintf "%s %d %d %d %d %d %d %d %d\n" magic version t.n (Occ.rate t.occ)
+    t.sa_rate t.sentinel_row
+    (Storage.length_words t.samples)
+    (Storage.length (Occ.raw_blocks t.occ))
     (Array.length (Occ.raw_super t.occ))
 
 let sections t =
   [
-    Bytes.unsafe_to_string (Packed_text.bytes (Packed_text.of_string t.text));
-    Bytes.unsafe_to_string (Occ.raw_blocks t.occ);
+    Packed_text.payload_string t.ptext;
+    Storage.to_string (Occ.raw_blocks t.occ);
     Bytes.unsafe_to_string (bytes_of_ints (Occ.raw_super t.occ));
-    Bytes.unsafe_to_string t.marks;
-    Bytes.unsafe_to_string (bytes_of_ints t.samples);
+    Storage.to_string t.marks;
+    Storage.words_to_string t.samples;
   ]
 
-(* The whole v3 file as one in-memory image: serialization is separated
+let align8 x = (x + 7) land lnot 7
+
+(* Fixed-width section-table geometry: "sections" + 5 entries of
+   " <12-digit offset> <12-digit length> <8-hex CRC>" + "\n". *)
+let section_table_len = 8 + (5 * (1 + 12 + 1 + 12 + 1 + 8)) + 1
+let hcrc_line_len = String.length "hcrc " + 8 + 1
+
+(* The whole v4 file as one in-memory image: serialization is separated
    from file I/O so the byte-sweep tests (and the fuzz oracle) can
    corrupt and re-parse images without touching the filesystem. *)
 let serialize t =
-  let buf = Buffer.create (4096 + (2 * String.length t.text)) in
+  let secs = sections t in
+  let counts = Occ.counts t.occ in
+  let l1 =
+    Printf.sprintf "%s 4 %d %d %d %d %d %d %d %d %d %d %d\n" magic t.n
+      (Occ.rate t.occ) t.sa_rate t.sentinel_row
+      (Storage.length_words t.samples)
+      (Storage.length (Occ.raw_blocks t.occ))
+      (Array.length (Occ.raw_super t.occ))
+      counts.(1) counts.(2) counts.(3) counts.(4)
+  in
+  let hdr_len = String.length l1 + section_table_len + hcrc_line_len in
+  let offs =
+    let rec go cur = function
+      | [] -> []
+      | s :: rest ->
+          let off = align8 cur in
+          off :: go (off + String.length s) rest
+    in
+    go hdr_len secs
+  in
+  (if List.exists (fun off -> off > 999_999_999_999) offs then
+     invalid_arg "Fm_index.serialize: index too large for the v4 section table");
+  let l2buf = Buffer.create section_table_len in
+  Buffer.add_string l2buf "sections";
+  List.iter2
+    (fun off s ->
+      Buffer.add_string l2buf
+        (Printf.sprintf " %012d %012d %08x" off (String.length s) (Crc32.string s)))
+    offs secs;
+  Buffer.add_char l2buf '\n';
+  let l2 = Buffer.contents l2buf in
+  assert (String.length l2 = section_table_len);
+  let l3 = Printf.sprintf "hcrc %08x\n" (Crc32.string ~init:(Crc32.string l1) l2) in
+  let buf = Buffer.create (4096 + hdr_len + (t.n / 2)) in
+  let crc = ref 0 in
+  let add s =
+    Buffer.add_string buf s;
+    crc := Crc32.string ~init:!crc s
+  in
+  add l1;
+  add l2;
+  add l3;
+  List.iter2
+    (fun off s ->
+      let cur = Buffer.length buf in
+      if off > cur then add (String.make (off - cur) '\000');
+      add s)
+    offs secs;
+  add trailer_magic_v4;
+  Buffer.add_string buf (le32_of_int !crc);
+  Buffer.contents buf
+
+let serialize_v3 t =
+  let buf = Buffer.create (4096 + (2 * t.n)) in
   let crc = ref 0 in
   let add s =
     Buffer.add_string buf s;
@@ -414,12 +522,12 @@ let serialize t =
       add payload;
       add (le32_of_int (Crc32.string payload)))
     (sections t);
-  add trailer_magic;
+  add trailer_magic_v3;
   Buffer.add_string buf (le32_of_int !crc);
   Buffer.contents buf
 
 let serialize_v2 t =
-  let buf = Buffer.create (4096 + (2 * String.length t.text)) in
+  let buf = Buffer.create (4096 + (2 * t.n)) in
   Buffer.add_string buf (header_line ~version:2 t);
   List.iter (Buffer.add_string buf) (sections t);
   Buffer.contents buf
@@ -437,6 +545,15 @@ type sink = { sink_write : string -> unit; sink_flush : unit -> unit }
 let write_atomic ?(fsync = true) ?(wrap = fun (s : sink) -> s) image path =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir ".kmm-save-" ".tmp" in
+  (* [Filename.temp_file] creates at mode 0o600, and rename preserves
+     it — which would leave every saved index unreadable to other
+     users.  Widen to the usual 0o644 minus the process umask before
+     any data lands in the file. *)
+  (try
+     let um = Unix.umask 0 in
+     ignore (Unix.umask um);
+     Unix.chmod tmp (0o644 land lnot um)
+   with Unix.Unix_error _ -> ());
   let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
   (match
      let oc = open_out_bin tmp in
@@ -482,6 +599,7 @@ let write_atomic ?(fsync = true) ?(wrap = fun (s : sink) -> s) image path =
     with Unix.Unix_error _ | Sys_error _ -> ()
 
 let save ?fsync ?wrap t path = write_atomic ?fsync ?wrap (serialize t) path
+let save_v3 ?fsync ?wrap t path = write_atomic ?fsync ?wrap (serialize_v3 t) path
 let save_v2 ?fsync ?wrap t path = write_atomic ?fsync ?wrap (serialize_v2 t) path
 
 (* --- parsing ----------------------------------------------------------- *)
@@ -527,10 +645,19 @@ let int_field what s =
   | Some v -> v
   | None -> corrupt Kmm_error.Header (Printf.sprintf "unparsable %s field" what)
 
+let hex_field what s =
+  if String.length s <> 8 then
+    corrupt Kmm_error.Header (Printf.sprintf "unparsable %s field" what)
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v -> v
+    | None -> corrupt Kmm_error.Header (Printf.sprintf "unparsable %s field" what)
+
 (* Shared header sanity: a forged or bit-flipped header must fail with
    the same friendly error as an unparsable one, and must never be
    allowed to drive a huge allocation (every derived length is bounded by
-   the image size through [take]). *)
+   the image size through [take], and for v4 by the exact-file-size
+   equation). *)
 let check_header_ranges ~n ~occ_rate ~sa_rate ~sentinel_row =
   if n < 0 || occ_rate <= 0 || sa_rate <= 0 || sentinel_row < 0 || sentinel_row > n
   then corrupt Kmm_error.Header "field out of range"
@@ -574,17 +701,20 @@ let load_v1 r fields =
     end
   done;
   let sorted = List.sort (fun (r1, _) (r2, _) -> Int.compare r1 r2) !pairs in
-  let marks = Bytes.make ((n + 8) / 8) '\000' in
-  let samples = Array.make !npairs 0 in
+  let marks = Storage.create ((n + 8) / 8) in
+  let samples = Storage.create_words !npairs in
   List.iteri
     (fun i (rw, p) ->
       mark_set marks rw;
-      samples.(i) <- p)
+      Storage.set_word samples i p)
     sorted;
   let mark_cum, total = build_mark_cum marks (n + 1) in
   if total <> !npairs then corrupt Kmm_error.Sa_marks "sample count mismatch";
+  let text = Bytes.unsafe_to_string text_buf in
   {
-    text = Bytes.unsafe_to_string text_buf;
+    n;
+    ptext = Packed_text.of_string text;
+    text = Storage.Memo.make (fun () -> text);
     occ;
     c_array;
     sa_rate;
@@ -594,7 +724,7 @@ let load_v1 r fields =
     samples;
   }
 
-(* --- v2 / v3 readers (adopting) --------------------------------------- *)
+(* --- v2 / v3 / v4 readers (adopting) ----------------------------------- *)
 
 type v2_header = {
   h_n : int;
@@ -606,20 +736,17 @@ type v2_header = {
   h_super_len : int;
 }
 
-let parse_v2_header fields =
+let make_header n occ_rate sa_rate sentinel_row nsamples blocks_bytes super_len =
   let h =
-    match fields with
-    | [ n; occ_rate; sa_rate; sentinel_row; nsamples; blocks_bytes; super_len ] ->
-        {
-          h_n = int_field "n" n;
-          h_occ_rate = int_field "occ_rate" occ_rate;
-          h_sa_rate = int_field "sa_rate" sa_rate;
-          h_sentinel_row = int_field "sentinel_row" sentinel_row;
-          h_nsamples = int_field "nsamples" nsamples;
-          h_blocks_bytes = int_field "blocks_bytes" blocks_bytes;
-          h_super_len = int_field "super_len" super_len;
-        }
-    | _ -> corrupt Kmm_error.Header "wrong field count"
+    {
+      h_n = int_field "n" n;
+      h_occ_rate = int_field "occ_rate" occ_rate;
+      h_sa_rate = int_field "sa_rate" sa_rate;
+      h_sentinel_row = int_field "sentinel_row" sentinel_row;
+      h_nsamples = int_field "nsamples" nsamples;
+      h_blocks_bytes = int_field "blocks_bytes" blocks_bytes;
+      h_super_len = int_field "super_len" super_len;
+    }
   in
   check_header_ranges ~n:h.h_n ~occ_rate:h.h_occ_rate ~sa_rate:h.h_sa_rate
     ~sentinel_row:h.h_sentinel_row;
@@ -629,13 +756,92 @@ let parse_v2_header fields =
   then corrupt Kmm_error.Header "field out of range";
   h
 
-(* Adopt the five sections of a v2/v3 file into an index, running the
+let parse_v2_header fields =
+  match fields with
+  | [ n; occ_rate; sa_rate; sentinel_row; nsamples; blocks_bytes; super_len ] ->
+      make_header n occ_rate sa_rate sentinel_row nsamples blocks_bytes super_len
+  | _ -> corrupt Kmm_error.Header "wrong field count"
+
+(* v4 header: the v2/v3 fields plus the four character totals, which let
+   the mmap reader skip the O(n) payload recount. *)
+let parse_v4_header fields =
+  match fields with
+  | [ n; occ_rate; sa_rate; sentinel_row; nsamples; blocks_bytes; super_len;
+      ca; cc; cg; ct ] ->
+      let h =
+        make_header n occ_rate sa_rate sentinel_row nsamples blocks_bytes super_len
+      in
+      let tot what s =
+        let v = int_field what s in
+        if v < 0 then corrupt Kmm_error.Header "field out of range";
+        v
+      in
+      let totals =
+        [| 1; tot "a_total" ca; tot "c_total" cc; tot "g_total" cg; tot "t_total" ct |]
+      in
+      if totals.(1) + totals.(2) + totals.(3) + totals.(4) <> h.h_n then
+        corrupt Kmm_error.Header "character totals do not sum to length";
+      (h, totals)
+  | _ -> corrupt Kmm_error.Header "wrong field count"
+
+(* Expected byte length of each v4 section, in file order, from a
+   validated header. *)
+let v4_section_lens h =
+  [
+    (h.h_n + 3) / 4;
+    h.h_blocks_bytes;
+    8 * h.h_super_len;
+    (h.h_n + 8) / 8;
+    8 * h.h_nsamples;
+  ]
+
+(* Parse and validate the v4 section-table line (newline stripped)
+   against the header geometry: every offset must be the 8-aligned
+   successor of the previous section and every length must match the
+   header.  Returns offsets and stored CRCs, in section order. *)
+let parse_v4_sections h ~hdr_len line =
+  if String.length line <> section_table_len - 1 then
+    corrupt Kmm_error.Header "bad section table";
+  match String.split_on_char ' ' line with
+  | "sections" :: rest when List.length rest = 15 ->
+      let rec triples = function
+        | [] -> []
+        | off :: len :: crc :: rest ->
+            ( int_field "section offset" off,
+              int_field "section length" len,
+              hex_field "section checksum" crc )
+            :: triples rest
+        | _ -> corrupt Kmm_error.Header "bad section table"
+      in
+      let entries = triples rest in
+      let expected = v4_section_lens h in
+      let cur = ref hdr_len in
+      List.iter2
+        (fun (off, len, _) exp_len ->
+          if off <> align8 !cur then corrupt Kmm_error.Header "section offset mismatch";
+          if len <> exp_len then corrupt Kmm_error.Header "section length mismatch";
+          cur := off + len)
+        entries expected;
+      (List.map (fun (off, _, _) -> off) entries,
+       List.map (fun (_, _, crc) -> crc) entries)
+  | _ -> corrupt Kmm_error.Header "bad section table"
+
+let parse_hcrc_line line =
+  if
+    String.length line = hcrc_line_len - 1
+    && String.sub line 0 5 = "hcrc "
+  then hex_field "header checksum" (String.sub line 5 8)
+  else corrupt Kmm_error.Header "bad header checksum line"
+
+(* Adopt the five sections of a v2/v3/v4 file into an index, running the
    structural validation (Occ checkpoint recount, text/BWT totals
-   cross-check, SA shape checks). *)
-let adopt h ~text_payload ~blocks ~super ~marks ~samples =
+   cross-check, SA shape checks).  [expect_totals], when given (v4),
+   must agree with the recount — the header fields the mmap reader
+   trusts are thereby cross-checked on every Copy load. *)
+let adopt ?expect_totals h ~text_payload ~blocks ~super ~marks ~samples =
   let n = h.h_n in
-  let text =
-    try Packed_text.to_string (Packed_text.of_bytes text_payload ~len:n)
+  let ptext =
+    try Packed_text.of_bytes text_payload ~len:n
     with Invalid_argument _ -> corrupt Kmm_error.Text_section "bad packed payload"
   in
   let occ =
@@ -645,36 +851,45 @@ let adopt h ~text_payload ~blocks ~super ~marks ~samples =
     with Invalid_argument msg -> corrupt Kmm_error.Rank_blocks msg
   in
   (* The text section and the rank structure must agree on per-character
-     totals (an O(n) byte scan, no reconstruction). *)
+     totals (an O(n) lane scan, no reconstruction).  Lane code d of the
+     packed text is alphabet code d+1. *)
   let counts = Occ.counts occ in
   let text_counts = Array.make sigma 0 in
-  String.iter
-    (fun c ->
-      let k = Dna.Alphabet.code c in
-      text_counts.(k) <- text_counts.(k) + 1)
-    text;
+  for i = 0 to n - 1 do
+    let k = Packed_text.unsafe_get ptext i + 1 in
+    text_counts.(k) <- text_counts.(k) + 1
+  done;
   for c = 1 to sigma - 1 do
     if text_counts.(c) <> counts.(c) then
       corrupt Kmm_error.Text_section "text and BWT sections disagree"
   done;
+  (match expect_totals with
+  | None -> ()
+  | Some totals ->
+      for c = 0 to sigma - 1 do
+        if totals.(c) <> counts.(c) then
+          corrupt Kmm_error.Header "character totals disagree with payload"
+      done);
   (* Clear mark padding bits beyond row n, then check sampling shape. *)
   (let rows = n + 1 in
    if rows land 7 <> 0 then begin
-     let last = Bytes.length marks - 1 in
-     Bytes.set marks last
-       (Char.chr (Char.code (Bytes.get marks last) land ((1 lsl (rows land 7)) - 1)))
+     let last = Storage.length marks - 1 in
+     A1.set marks last (A1.get marks last land ((1 lsl (rows land 7)) - 1))
    end);
   let mark_cum, total = build_mark_cum marks (n + 1) in
   if total <> h.h_nsamples then
     corrupt Kmm_error.Sa_marks "sample count mismatch";
   if not (mark_test marks 0) then corrupt Kmm_error.Sa_marks "row 0 unmarked";
-  if samples.(0) <> n then corrupt Kmm_error.Sa_samples "row 0 sample wrong";
-  Array.iter
-    (fun p ->
-      if p < 0 || p > n then corrupt Kmm_error.Sa_samples "sample out of range")
-    samples;
+  if Storage.word samples 0 <> n then
+    corrupt Kmm_error.Sa_samples "row 0 sample wrong";
+  for i = 0 to Storage.length_words samples - 1 do
+    let p = Storage.word samples i in
+    if p < 0 || p > n then corrupt Kmm_error.Sa_samples "sample out of range"
+  done;
   {
-    text;
+    n;
+    ptext;
+    text = text_memo_of_packed ptext;
     occ;
     c_array = c_array_of_counts counts;
     sa_rate = h.h_sa_rate;
@@ -688,10 +903,12 @@ let load_v2 r fields =
   let h = parse_v2_header fields in
   let n = h.h_n in
   let text_payload = take r ~what:"text section" ((n + 3) / 4) in
-  let blocks = Bytes.of_string (take r ~what:"rank blocks" h.h_blocks_bytes) in
+  let blocks = Storage.of_string (take r ~what:"rank blocks" h.h_blocks_bytes) in
   let super = ints_of_string (take r ~what:"superblocks" (8 * h.h_super_len)) in
-  let marks = Bytes.of_string (take r ~what:"sa marks" ((n + 8) / 8)) in
-  let samples = ints_of_string (take r ~what:"sa samples" (8 * h.h_nsamples)) in
+  let marks = Storage.of_string (take r ~what:"sa marks" ((n + 8) / 8)) in
+  let samples =
+    Storage.words_of_string (take r ~what:"sa samples" (8 * h.h_nsamples))
+  in
   if not (at_end r) then
     corrupt Kmm_error.Trailer "trailing garbage after index payload";
   adopt h ~text_payload ~blocks ~super ~marks ~samples
@@ -721,17 +938,65 @@ let load_v3 r fields =
      flip anywhere in the file fails one of these deterministic checks. *)
   let body_end = r.pos in
   let tmagic = take r ~what:"trailer" 4 in
-  if tmagic <> trailer_magic then corrupt Kmm_error.Trailer "bad trailer magic";
+  if tmagic <> trailer_magic_v3 then corrupt Kmm_error.Trailer "bad trailer magic";
   let stored = take_crc r ~what:"trailer" in
   if not (at_end r) then
     corrupt Kmm_error.Trailer "trailing garbage after index payload";
   let whole = Crc32.sub r.image ~pos:0 ~len:(body_end + 4) in
   if whole <> stored then corrupt Kmm_error.Trailer "whole-file checksum mismatch";
   adopt h ~text_payload
-    ~blocks:(Bytes.of_string blocks_s)
+    ~blocks:(Storage.of_string blocks_s)
     ~super:(ints_of_string super_s)
-    ~marks:(Bytes.of_string marks_s)
-    ~samples:(ints_of_string samples_s)
+    ~marks:(Storage.of_string marks_s)
+    ~samples:(Storage.words_of_string samples_s)
+
+(* Copy-mode v4 reader: full verification — header CRC, per-section
+   CRCs, exact file size, whole-file trailer CRC (which covers the
+   alignment padding), then the same structural adoption as v2/v3 plus
+   the header-totals cross-check. *)
+let load_v4 r fields =
+  let h, totals = parse_v4_header fields in
+  let l2 = take_line r in
+  let l2_end = r.pos in
+  let l3 = take_line r in
+  let stored_hcrc = parse_hcrc_line l3 in
+  if Crc32.sub r.image ~pos:0 ~len:l2_end <> stored_hcrc then
+    corrupt Kmm_error.Header "header checksum mismatch";
+  let hdr_len = r.pos in
+  let offs, crcs = parse_v4_sections h ~hdr_len l2 in
+  let lens = v4_section_lens h in
+  let last_off = List.nth offs 4 and last_len = List.nth lens 4 in
+  let expected_size = last_off + last_len + 8 in
+  let size = String.length r.image in
+  if size < expected_size then fail (Kmm_error.Truncated "index payload");
+  if size > expected_size then
+    corrupt Kmm_error.Trailer "trailing garbage after index payload";
+  (* Trailer before sections: it is the cheap whole-file check, and it
+     also covers the padding bytes no section CRC sees. *)
+  if String.sub r.image (size - 8) 4 <> trailer_magic_v4 then
+    corrupt Kmm_error.Trailer "bad trailer magic";
+  if Crc32.sub r.image ~pos:0 ~len:(size - 4) <> int_of_le32 r.image (size - 4)
+  then corrupt Kmm_error.Trailer "whole-file checksum mismatch";
+  let section_names =
+    [ Kmm_error.Text_section; Kmm_error.Rank_blocks; Kmm_error.Superblocks;
+      Kmm_error.Sa_marks; Kmm_error.Sa_samples ]
+  in
+  let payloads =
+    List.map
+      (fun ((off, len), (crc, sec)) ->
+        let payload = String.sub r.image off len in
+        if Crc32.string payload <> crc then corrupt sec "checksum mismatch";
+        payload)
+      (List.combine (List.combine offs lens) (List.combine crcs section_names))
+  in
+  match payloads with
+  | [ text_payload; blocks_s; super_s; marks_s; samples_s ] ->
+      adopt ~expect_totals:totals h ~text_payload
+        ~blocks:(Storage.of_string blocks_s)
+        ~super:(ints_of_string super_s)
+        ~marks:(Storage.of_string marks_s)
+        ~samples:(Storage.words_of_string samples_s)
+  | _ -> assert false
 
 let try_of_string image =
   let r = { image; pos = 0 } in
@@ -743,6 +1008,7 @@ let try_of_string image =
         | "1" -> load_v1 r fields
         | "2" -> load_v2 r fields
         | "3" -> load_v3 r fields
+        | "4" -> load_v4 r fields
         | v -> (
             match int_of_string_opt v with
             | Some nv -> fail (Kmm_error.Unsupported_version nv)
@@ -756,19 +1022,161 @@ let try_of_string image =
          rather than masking it as corruption. *)
       Error (Kmm_error.Internal (Printexc.to_string e))
 
+(* Chunked read-to-EOF: never trusts [in_channel_length], so a file that
+   shrinks mid-read or a size probe confused by a proc-style file cannot
+   escape as an untyped [End_of_file], and the only failure above
+   [Sys.max_string_length] is the [Buffer] size limit ([Failure]),
+   mapped to a typed error by [try_load]. *)
 let read_whole_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      let chunk = Bytes.create 65536 in
+      let rec go () =
+        let got = input ic chunk 0 65536 in
+        if got > 0 then begin
+          Buffer.add_subbytes buf chunk 0 got;
+          go ()
+        end
+      in
+      go ();
+      Buffer.contents buf)
 
-let try_load path =
+let try_load_copy path =
   match read_whole_file path with
   | image -> try_of_string image
   | exception (Sys_error _ as e) -> Error (Kmm_error.Io e)
+  | exception End_of_file -> Error (Kmm_error.Truncated "index file")
+  | exception Failure msg -> Error (Kmm_error.Io (Failure msg))
 
-let load path =
-  match try_load path with
+(* --- mmap loader ------------------------------------------------------- *)
+
+let read_exact fd ~pos ~len ~what =
+  let b = Bytes.create len in
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  let got = ref 0 in
+  while !got < len do
+    let k = Unix.read fd b !got (len - !got) in
+    if k = 0 then fail (Kmm_error.Truncated what);
+    got := !got + k
+  done;
+  Bytes.unsafe_to_string b
+
+(* Mmap-mode v4 reader.  Validation model: the header lines are read,
+   CRC-checked and range-checked exactly like the Copy reader, the file
+   size must match the geometry to the byte, and the trailer magic must
+   be present — so truncation and any header-byte corruption are still
+   detected.  The bulk payload CRCs and the O(n) structural recount are
+   deliberately skipped (that is the entire cold-start win); geometry
+   validation keeps every derived offset in bounds and the LF walk in
+   [position_of_row] is capped at [sa_rate] steps, so a corrupted
+   payload yields wrong answers or a clean exception — never
+   memory-unsafety, never a hang.  [kmm verify] re-reads the file in
+   Copy mode for the full check. *)
+let load_v4_mmap fd ~size r fields =
+  let h, totals = parse_v4_header fields in
+  let l2 = take_line r in
+  let l2_end = r.pos in
+  let l3 = take_line r in
+  let stored_hcrc = parse_hcrc_line l3 in
+  if Crc32.sub r.image ~pos:0 ~len:l2_end <> stored_hcrc then
+    corrupt Kmm_error.Header "header checksum mismatch";
+  let hdr_len = r.pos in
+  let offs, _crcs = parse_v4_sections h ~hdr_len l2 in
+  let lens = v4_section_lens h in
+  let last_off = List.nth offs 4 and last_len = List.nth lens 4 in
+  let expected_size = last_off + last_len + 8 in
+  if size < expected_size then fail (Kmm_error.Truncated "index payload");
+  if size > expected_size then
+    corrupt Kmm_error.Trailer "trailing garbage after index payload";
+  let trailer = read_exact fd ~pos:(size - 8) ~len:8 ~what:"trailer" in
+  if String.sub trailer 0 4 <> trailer_magic_v4 then
+    corrupt Kmm_error.Trailer "bad trailer magic";
+  let off i = List.nth offs i and len i = List.nth lens i in
+  let n = h.h_n in
+  let ptext =
+    try
+      Packed_text.of_storage (Storage.map_bytes fd ~pos:(off 0) ~len:(len 0)) ~len:n
+    with Invalid_argument _ -> corrupt Kmm_error.Text_section "bad packed payload"
+  in
+  let blocks = Storage.map_bytes fd ~pos:(off 1) ~len:(len 1) in
+  (* Superblocks are tiny (4 ints per 64 Ki bases): read them into the
+     int array the rank kernel wants rather than keeping a mapping. *)
+  let super = ints_of_string (read_exact fd ~pos:(off 2) ~len:(len 2) ~what:"superblocks") in
+  let marks = Storage.map_bytes fd ~pos:(off 3) ~len:(len 3) in
+  let samples = Storage.map_words fd ~pos:(off 4) ~len:h.h_nsamples in
+  let occ =
+    try
+      Occ.of_raw_trusted ~rate:h.h_occ_rate ~len:(n + 1)
+        ~sentinels:[| h.h_sentinel_row |] ~blocks ~super ~totals
+    with Invalid_argument msg -> corrupt Kmm_error.Rank_blocks msg
+  in
+  (let rows = n + 1 in
+   if rows land 7 <> 0 then begin
+     let last = Storage.length marks - 1 in
+     A1.set marks last (A1.get marks last land ((1 lsl (rows land 7)) - 1))
+   end);
+  let mark_cum, total = build_mark_cum marks (n + 1) in
+  if total <> h.h_nsamples then corrupt Kmm_error.Sa_marks "sample count mismatch";
+  if not (mark_test marks 0) then corrupt Kmm_error.Sa_marks "row 0 unmarked";
+  if Storage.word samples 0 <> n then
+    corrupt Kmm_error.Sa_samples "row 0 sample wrong";
+  {
+    n;
+    ptext;
+    text = text_memo_of_packed ptext;
+    occ;
+    c_array = c_array_of_counts totals;
+    sa_rate = h.h_sa_rate;
+    sentinel_row = h.h_sentinel_row;
+    marks;
+    mark_cum;
+    samples;
+  }
+
+let try_load_mmap path =
+  let outcome =
+    match
+      let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let size = (Unix.fstat fd).Unix.st_size in
+          let prefix = read_exact fd ~pos:0 ~len:(min size 1024) ~what:"index header" in
+          let r = { image = prefix; pos = 0 } in
+          let header = take_line r in
+          match String.split_on_char ' ' header with
+          | m :: version :: fields when m = magic -> (
+              match version with
+              | "4" -> `Loaded (load_v4_mmap fd ~size r fields)
+              | "1" | "2" | "3" ->
+                  (* Pre-v4 layouts are unaligned; adopt them by copy. *)
+                  `Fallback
+              | v -> (
+                  match int_of_string_opt v with
+                  | Some nv -> fail (Kmm_error.Unsupported_version nv)
+                  | None -> fail Kmm_error.Bad_magic))
+          | _ -> fail Kmm_error.Bad_magic)
+    with
+    | outcome -> outcome
+    | exception Fail e -> `Error e
+    | exception ((Unix.Unix_error _ | Sys_error _) as e) -> `Error (Kmm_error.Io e)
+    | exception e -> `Error (Kmm_error.Internal (Printexc.to_string e))
+  in
+  match outcome with
+  | `Loaded t -> Ok t
+  | `Fallback -> try_load_copy path
+  | `Error e -> Error e
+
+type mode = Copy | Mmap
+
+let try_load ?(mode = Copy) path =
+  match mode with Copy -> try_load_copy path | Mmap -> try_load_mmap path
+
+let load ?mode path =
+  match try_load ?mode path with
   | Ok t -> t
   | Error (Kmm_error.Io e) -> raise e
   | Error e -> failwith (path ^ ": " ^ Kmm_error.to_string e)

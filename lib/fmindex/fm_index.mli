@@ -20,6 +20,11 @@ val length : t -> int
 (** Length of the indexed text (sentinel excluded). *)
 
 val text : t -> string
+(** The indexed text.  The index keeps the text 2-bit packed; the
+    unpacked string is materialized on first use and cached behind a
+    domain-safe memo, so the call is O(n) once and O(1) after, from any
+    number of domains. *)
+
 val bwt : t -> string
 
 val whole : t -> interval
@@ -97,8 +102,10 @@ end
 val space_report : t -> (string * int) list
 (** Named byte sizes of the index components, one entry per owned buffer
     (packed rank blocks, SA mark bitvector + rank directory, SA samples,
-    C array, and the retained text copy); entries sum to the index's
-    heap footprint, with no component counted twice. *)
+    C array, and the 2-bit packed text); entries sum to the index's
+    resident footprint, with no component counted twice.  (A text string
+    forced through {!text} is a cache, not an owned component, and is
+    not listed.) *)
 
 val extend_all : t -> interval -> los:int array -> his:int array -> unit
 (** One-pass variant of {!extend} for every character code at once:
@@ -109,14 +116,17 @@ val extend_all : t -> interval -> los:int array -> his:int array -> unit
 
 (** {1 Persistence}
 
-    The on-disk format is {b v3}: an ASCII header, then the 2-bit packed
-    text, the interleaved rank blocks, the superblock counters, and the
-    SA mark bitvector and samples — the index's own buffers written
-    verbatim, each followed by its CRC-32, plus an 8-byte trailer
-    ([kmm3] + the CRC-32 of the whole preceding file).  Any single-byte
-    corruption or truncation of a v3 file is detected at load with a
-    typed {!Kmm_error.t}.  v1 and v2 files from earlier releases are
-    still read (guarded by committed fixtures). *)
+    The on-disk format is {b v4}: a CRC-guarded ASCII header carrying a
+    section-offset table, then the 2-bit packed text, the interleaved
+    rank blocks, the superblock counters, and the SA mark bitvector and
+    samples — the index's own buffers written verbatim at 8-byte-aligned
+    offsets — plus an 8-byte trailer ([kmm4] + the CRC-32 of the whole
+    preceding file).  The alignment and offset table exist so the bulk
+    sections can be adopted {e in place} from [Unix.map_file]: see
+    {!mode}.  Any single-byte corruption or truncation of a v4 file is
+    detected by the Copy-mode reader with a typed {!Kmm_error.t}.
+    v1–v3 files from earlier releases are still read (guarded by
+    committed fixtures). *)
 
 type sink = {
   sink_write : string -> unit;  (** append a chunk; may raise *)
@@ -127,37 +137,72 @@ type sink = {
     short or corrupted writes — without touching the production path. *)
 
 val serialize : t -> string
-(** The complete v3 file image in memory — what {!save} writes and
+(** The complete v4 file image in memory — what {!save} writes and
     {!try_of_string} parses.  Separated from file I/O so corruption
     sweeps and fuzzers can work on images directly. *)
 
+val serialize_v3 : t -> string
+(** The legacy v3 image (one header line, unaligned sections, same
+    CRC-32s and trailer), kept so compatibility tests and benchmarks can
+    produce fresh v3 files. *)
+
 val save : ?fsync:bool -> ?wrap:(sink -> sink) -> t -> string -> unit
-(** Persist the index to [path] in format v3, {b atomically}: the image
+(** Persist the index to [path] in format v4, {b atomically}: the image
     is streamed to a fresh temp file in the same directory, flushed and
     fsynced ([fsync] defaults to [true]), and renamed over [path] only
     then.  If anything fails mid-save — disk full, a crash simulated by
     a [wrap]-injected fault, an exception from the OS — the temp file is
     removed and [path] keeps its previous contents (or stays absent);
-    all fds are released via [Fun.protect] on every path. *)
+    all fds are released via [Fun.protect] on every path.  The saved
+    file is readable by other users: the temp file's 0o600 creation mode
+    is widened to 0o644 masked by the process umask before the data is
+    written. *)
+
+val save_v3 : ?fsync:bool -> ?wrap:(sink -> sink) -> t -> string -> unit
+(** Atomic writer for {!serialize_v3}. *)
 
 val save_v2 : ?fsync:bool -> ?wrap:(sink -> sink) -> t -> string -> unit
 (** The legacy v2 writer (no checksums), kept so compatibility tests can
     produce fresh v2 files.  Same atomic protocol as {!save}. *)
 
+val write_atomic : ?fsync:bool -> ?wrap:(sink -> sink) -> string -> string -> unit
+(** [write_atomic image path]: the atomic temp-file + fsync + rename
+    protocol of {!save}, for any byte image.  The corpus manifest writer
+    reuses it so shard files and manifests get the same crash-safety and
+    permission guarantees as index files. *)
+
 val try_of_string : string -> (t, Kmm_error.t) result
-(** Parse an index image of any supported version.  A v2/v3 file is
+(** Parse an index image of any supported version.  A v2/v3/v4 file is
     adopted directly (structural validation, no reconstruction); v1 goes
     through the original rebuild path.  Never raises on bad input: a
     forged header, flipped byte, truncation or trailing garbage comes
     back as [Error] with the failing section attributed — and never as
     [Out_of_memory], [End_of_file] or a silently wrong index. *)
 
-val try_load : string -> (t, Kmm_error.t) result
-(** Read and parse a file: {!try_of_string} plus an [Error (Io _)] for
-    filesystem failures.  The fd is released on every path. *)
+type mode =
+  | Copy  (** read the whole file and adopt heap copies (any version) *)
+  | Mmap
+      (** map the file and adopt the bulk sections in place (v4; earlier
+          versions silently fall back to [Copy]) *)
 
-val load : string -> t
+val try_load : ?mode:mode -> string -> (t, Kmm_error.t) result
+(** Read and parse a file: {!try_of_string} plus an [Error (Io _)] for
+    filesystem failures.  The fd is released on every path (an mmap'd
+    index keeps its pages alive without the fd).
+
+    [mode] (default [Copy]) selects the adoption strategy.  [Copy] runs
+    the full verification: header CRC, per-section CRCs, whole-file
+    trailer CRC and the structural recount.  [Mmap] validates the
+    header (CRC + geometry), the exact file size and the trailer magic —
+    so truncation and header corruption are still typed errors — but
+    trusts the bulk payloads, skipping everything O(n): cold-start
+    becomes O(header + superblocks + marks) and the OS shares the
+    mapped pages across processes.  Run [kmm verify] (or a [Copy] load)
+    when payload integrity must be proven.  A v1–v3 file requested as
+    [Mmap] is loaded by copy. *)
+
+val load : ?mode:mode -> string -> t
 (** Raising wrapper over {!try_load}, kept for callers that prefer
     exceptions: raises [Failure] with a descriptive message on a file
-    that is not a valid index, and re-raises the original [Sys_error]
-    when the file cannot be read at all. *)
+    that is not a valid index, and re-raises the original exception
+    ([Sys_error]/[Unix_error]) when the file cannot be read at all. *)

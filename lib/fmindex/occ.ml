@@ -1,5 +1,10 @@
 (* Packed-rank Occ: interleaved popcount blocks over a 2-bit BWT payload.
-   See occ.mli for the layout contract. *)
+   See occ.mli for the layout contract.  The block buffer is a Storage.t
+   (heap or mmap'd format-v4 section); the kernels below read it through
+   Bigarray.Array1.unsafe_get, which compiles to the same inline load a
+   Bytes access did. *)
+
+module A1 = Bigarray.Array1
 
 let sigma = Dna.Alphabet.sigma
 
@@ -50,38 +55,35 @@ let smask =
 (* Packed lane counts of the first [rem] (1..31) lanes of the 32-lane
    block payload at [pay]: eight independent masked table lookups, no
    data-dependent branches. *)
-let[@inline] scan32 data pay rem =
+let[@inline] scan32 (data : Storage.t) pay rem =
   let mo = rem lsl 3 in
   (* Spelled out term by term: helper lambdas here would closure-convert
      (and allocate) on every call without flambda. *)
   Array.unsafe_get tbl
-    (Char.code (Bytes.unsafe_get data pay) land Char.code (Bytes.unsafe_get smask mo))
+    (A1.unsafe_get data pay land Char.code (Bytes.unsafe_get smask mo))
   + Array.unsafe_get tbl
-      (Char.code (Bytes.unsafe_get data (pay + 1))
-      land Char.code (Bytes.unsafe_get smask (mo + 1)))
+      (A1.unsafe_get data (pay + 1) land Char.code (Bytes.unsafe_get smask (mo + 1)))
   + Array.unsafe_get tbl
-      (Char.code (Bytes.unsafe_get data (pay + 2))
-      land Char.code (Bytes.unsafe_get smask (mo + 2)))
+      (A1.unsafe_get data (pay + 2) land Char.code (Bytes.unsafe_get smask (mo + 2)))
   + Array.unsafe_get tbl
-      (Char.code (Bytes.unsafe_get data (pay + 3))
-      land Char.code (Bytes.unsafe_get smask (mo + 3)))
+      (A1.unsafe_get data (pay + 3) land Char.code (Bytes.unsafe_get smask (mo + 3)))
   + Array.unsafe_get tbl
-      (Char.code (Bytes.unsafe_get data (pay + 4))
-      land Char.code (Bytes.unsafe_get smask (mo + 4)))
+      (A1.unsafe_get data (pay + 4) land Char.code (Bytes.unsafe_get smask (mo + 4)))
   + Array.unsafe_get tbl
-      (Char.code (Bytes.unsafe_get data (pay + 5))
-      land Char.code (Bytes.unsafe_get smask (mo + 5)))
+      (A1.unsafe_get data (pay + 5) land Char.code (Bytes.unsafe_get smask (mo + 5)))
   + Array.unsafe_get tbl
-      (Char.code (Bytes.unsafe_get data (pay + 6))
-      land Char.code (Bytes.unsafe_get smask (mo + 6)))
+      (A1.unsafe_get data (pay + 6) land Char.code (Bytes.unsafe_get smask (mo + 6)))
   + Array.unsafe_get tbl
-      (Char.code (Bytes.unsafe_get data (pay + 7))
-      land Char.code (Bytes.unsafe_get smask (mo + 7)))
+      (A1.unsafe_get data (pay + 7) land Char.code (Bytes.unsafe_get smask (mo + 7)))
 
 (* Little-endian uint16 at [o], no bounds check (offsets are computed
    from validated geometry). *)
-let[@inline] u16 data o =
-  Char.code (Bytes.unsafe_get data o) lor (Char.code (Bytes.unsafe_get data (o + 1)) lsl 8)
+let[@inline] u16 (data : Storage.t) o =
+  A1.unsafe_get data o lor (A1.unsafe_get data (o + 1) lsl 8)
+
+let set_u16 (data : Storage.t) o v =
+  A1.unsafe_set data o (v land 0xff);
+  A1.unsafe_set data (o + 1) ((v lsr 8) land 0xff)
 
 (* Pull lane code [d]'s count out of a packed scan result [s] covering
    [rem] lanes.  Code 0 is the complement of the three stored fields; it
@@ -103,7 +105,7 @@ type t = {
   bshift : int;  (* log2 bl *)
   sshift : int;  (* log2 (blocks per superblock) = 16 - bshift *)
   stride : int;  (* bytes per block = 8 + bl/4 *)
-  data : Bytes.t;  (* interleaved counts + payload *)
+  data : Storage.t;  (* interleaved counts + payload, heap or mmap'd *)
   super : int array;  (* absolute counts, 4 per superblock *)
   sentinels : int array;  (* sorted BWT rows holding '$' *)
   len : int;  (* BWT length, sentinels included *)
@@ -142,17 +144,14 @@ let[@inline] sent_before t i =
 
 (* Generic in-block scan for geometries larger than the 32-lane default:
    packed lane counts of the first [rem] lanes of the payload at [pay]. *)
-let scan_slow data pay rem =
+let scan_slow (data : Storage.t) pay rem =
   let fb = rem lsr 2 and tail = rem land 3 in
   let s = ref 0 in
   for j = 0 to fb - 1 do
-    s := !s + Array.unsafe_get tbl (Char.code (Bytes.unsafe_get data (pay + j)))
+    s := !s + Array.unsafe_get tbl (A1.unsafe_get data (pay + j))
   done;
   if tail <> 0 then
-    s :=
-      !s
-      + Array.unsafe_get tbl
-          (Char.code (Bytes.unsafe_get data (pay + fb)) land tmask.(tail));
+    s := !s + Array.unsafe_get tbl (A1.unsafe_get data (pay + fb) land tmask.(tail));
   !s
 
 (* Count of lane code d (0..3) in the packed payload prefix [0, p). *)
@@ -226,9 +225,8 @@ let[@inline] eq_ind a b = ((a lxor b) - 1) lsr 62
    straight out of the interleaved block payload. *)
 let[@inline] payload_code t p =
   let byte =
-    Char.code
-      (Bytes.unsafe_get t.data
-         (((p lsr t.bshift) * t.stride) + 8 + ((p land (t.bl - 1)) lsr 2)))
+    A1.unsafe_get t.data
+      (((p lsr t.bshift) * t.stride) + 8 + ((p land (t.bl - 1)) lsr 2))
   in
   ((byte lsr ((p land 3) * 2)) land 3) + 1
 
@@ -347,7 +345,7 @@ let get t row =
       let p = row - before in
       let b = p lsr t.bshift in
       let byte =
-        Char.code (Bytes.unsafe_get t.data ((b * t.stride) + 8 + ((p land (t.bl - 1)) lsr 2)))
+        A1.unsafe_get t.data ((b * t.stride) + 8 + ((p land (t.bl - 1)) lsr 2))
       in
       ((byte lsr ((p land 3) * 2)) land 3) + 1
 
@@ -362,7 +360,7 @@ let block_lanes t = t.bl
 let length t = t.len
 
 let space_bytes t =
-  Bytes.length t.data
+  Storage.length t.data
   + (8 * (Array.length t.super + Array.length t.sentinels + Array.length t.totals))
 
 (* ------------------------------------------------------------------ *)
@@ -391,10 +389,10 @@ let of_packed ?(rate = 32) ?(sentinels = [||]) pt =
   let len = plen + Array.length sentinels in
   check_sentinels sentinels len;
   let bl, bshift, sshift, stride, blocks, nsuper = geometry ~rate ~plen in
-  let data = Bytes.make (blocks * stride) '\000' in
+  let data = Storage.create (blocks * stride) in
   let super = Array.make (nsuper * 4) 0 in
-  let payload = Packed_text.bytes pt in
-  let pbytes = Bytes.length payload in
+  let payload = Packed_text.storage pt in
+  let pbytes = Storage.length payload in
   let running = Array.make 4 0 in
   for b = 0 to blocks - 1 do
     let sb = b lsr sshift in
@@ -404,17 +402,17 @@ let of_packed ?(rate = 32) ?(sentinels = [||]) pt =
       done;
     let off = b * stride in
     for d = 0 to 3 do
-      Bytes.set_uint16_le data (off + (2 * d)) (running.(d) - super.((sb * 4) + d))
+      set_u16 data (off + (2 * d)) (running.(d) - super.((sb * 4) + d))
     done;
     (* Copy this block's payload and count it through the table. *)
     let src = b * (bl lsr 2) in
     let cnt = min (bl lsr 2) (pbytes - src) in
     if cnt > 0 then begin
-      Bytes.blit payload src data (off + 8) cnt;
+      Storage.blit payload src data (off + 8) cnt;
       let lanes = min bl (plen - (b * bl)) in
       let s = ref 0 in
       for j = 0 to cnt - 1 do
-        s := !s + tbl.(Char.code (Bytes.unsafe_get data (off + 8 + j)))
+        s := !s + tbl.(A1.unsafe_get data (off + 8 + j))
       done;
       let s = !s in
       let f1 = s land 0xffff
@@ -464,44 +462,53 @@ let make ?(rate = 32) l =
   of_packed ~rate ~sentinels pt
 
 let to_packed t =
-  let out = Bytes.make ((t.plen + 3) / 4) '\000' in
+  let out = Storage.create ((t.plen + 3) / 4) in
   let chunk = t.bl lsr 2 in
   let b = ref 0 in
   let copied = ref 0 in
-  while !copied < Bytes.length out do
-    let cnt = min chunk (Bytes.length out - !copied) in
-    Bytes.blit t.data ((!b * t.stride) + 8) out !copied cnt;
+  while !copied < Storage.length out do
+    let cnt = min chunk (Storage.length out - !copied) in
+    Storage.blit t.data ((!b * t.stride) + 8) out !copied cnt;
     copied := !copied + cnt;
     incr b
   done;
-  Packed_text.of_bytes (Bytes.unsafe_to_string out) ~len:t.plen
+  Packed_text.of_storage out ~len:t.plen
 
 let raw_blocks t = t.data
 let raw_super t = t.super
 
-let of_raw ~rate ~len ~sentinels ~blocks:data ~super =
-  if rate <= 0 then invalid_arg "Occ.of_raw: rate must be positive";
-  if len < 0 then invalid_arg "Occ.of_raw: negative length";
+(* Shared front half of the adopting constructors: geometry validation
+   plus clearing payload padding beyond the last lane, so table scans
+   stay exact even if the file carried dirty bits.  (Mapped storage is
+   copy-on-write; the clears never reach the file.)  Returns the
+   validated geometry tuple. *)
+let adopt_checked ~who ~rate ~len ~sentinels ~data ~super =
+  if rate <= 0 then invalid_arg (who ^ ": rate must be positive");
+  if len < 0 then invalid_arg (who ^ ": negative length");
   check_sentinels sentinels len;
   let plen = len - Array.length sentinels in
-  if plen < 0 then invalid_arg "Occ.of_raw: more sentinels than rows";
-  let bl, bshift, sshift, stride, blocks, nsuper = geometry ~rate ~plen in
-  if Bytes.length data <> blocks * stride then
-    invalid_arg "Occ.of_raw: block buffer size mismatch";
+  if plen < 0 then invalid_arg (who ^ ": more sentinels than rows");
+  let ((bl, bshift, _, stride, blocks, nsuper) as geom) = geometry ~rate ~plen in
+  if Storage.length data <> blocks * stride then
+    invalid_arg (who ^ ": block buffer size mismatch");
   if Array.length super <> nsuper * 4 then
-    invalid_arg "Occ.of_raw: superblock buffer size mismatch";
-  (* Clear payload padding beyond the last lane so table scans stay
-     exact even if the file carried dirty bits. *)
+    invalid_arg (who ^ ": superblock buffer size mismatch");
   let lb = plen lsr bshift in
   let last_off = (lb * stride) + 8 in
   let rem = plen land (bl - 1) in
   let full = rem lsr 2 and tail = rem land 3 in
   if tail <> 0 then
-    Bytes.set data (last_off + full)
-      (Char.chr (Char.code (Bytes.get data (last_off + full)) land tmask.(tail)));
+    A1.set data (last_off + full) (A1.get data (last_off + full) land tmask.(tail));
   for j = full + (if tail = 0 then 0 else 1) to (bl lsr 2) - 1 do
-    Bytes.set data (last_off + j) '\000'
+    A1.set data (last_off + j) 0
   done;
+  geom
+
+let of_raw ~rate ~len ~sentinels ~blocks:data ~super =
+  let bl, bshift, sshift, stride, blocks, _ =
+    adopt_checked ~who:"Occ.of_raw" ~rate ~len ~sentinels ~data ~super
+  in
+  let plen = len - Array.length sentinels in
   (* Verification pass: every stored checkpoint (superblock counters and
      per-block relative counts) must equal a sequential recount of the
      payload.  One table lookup per 4 lanes at memory bandwidth — no
@@ -517,15 +524,15 @@ let of_raw ~rate ~len ~sentinels ~blocks:data ~super =
           invalid_arg "Occ.of_raw: superblock counter disagrees with payload"
       done;
     for d = 0 to 3 do
-      if Bytes.get_uint16_le data (off + (2 * d)) <> running.(d) - super.(sb4 + d)
-      then invalid_arg "Occ.of_raw: block count disagrees with payload"
+      if u16 data (off + (2 * d)) <> running.(d) - super.(sb4 + d) then
+        invalid_arg "Occ.of_raw: block count disagrees with payload"
     done;
     let lanes = min bl (plen - (b * bl)) in
     if lanes > 0 then begin
       let cnt = (lanes + 3) lsr 2 in
       let s = ref 0 in
       for j = 0 to cnt - 1 do
-        s := !s + Array.unsafe_get tbl (Char.code (Bytes.unsafe_get data (off + 8 + j)))
+        s := !s + Array.unsafe_get tbl (A1.unsafe_get data (off + 8 + j))
       done;
       let s = !s in
       let f1 = s land 0xffff
@@ -543,6 +550,36 @@ let of_raw ~rate ~len ~sentinels ~blocks:data ~super =
     totals.(d + 1) <- running.(d)
   done;
   { req_rate = rate; bl; bshift; sshift; stride; data; super; sentinels; len; plen; totals }
+
+let of_raw_trusted ~rate ~len ~sentinels ~blocks:data ~super ~totals =
+  let bl, bshift, sshift, stride, _, _ =
+    adopt_checked ~who:"Occ.of_raw_trusted" ~rate ~len ~sentinels ~data ~super
+  in
+  let plen = len - Array.length sentinels in
+  if Array.length totals <> sigma then
+    invalid_arg "Occ.of_raw_trusted: bad totals size";
+  if totals.(0) <> Array.length sentinels then
+    invalid_arg "Occ.of_raw_trusted: sentinel total disagrees with table";
+  let sum = ref 0 in
+  Array.iter
+    (fun c ->
+      if c < 0 then invalid_arg "Occ.of_raw_trusted: negative total";
+      sum := !sum + c)
+    totals;
+  if !sum <> len then invalid_arg "Occ.of_raw_trusted: totals do not sum to length";
+  {
+    req_rate = rate;
+    bl;
+    bshift;
+    sshift;
+    stride;
+    data;
+    super;
+    sentinels;
+    len;
+    plen;
+    totals = Array.copy totals;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Seed byte-scan reference (oracle for tests and the rank benchmark)   *)

@@ -111,20 +111,40 @@ val to_packed : t -> Packed_text.t
 
 (** {1 Persistence hooks}
 
-    Format v2 writes the interleaved buffers verbatim so [load] never
-    recounts the text.  Treat the returned buffers as read-only. *)
+    Every on-disk format since v2 writes the interleaved buffers
+    verbatim so [load] never recounts the text — and format v4 goes one
+    further: the block buffer can be adopted {e in place} from an
+    mmap'd section.  Treat the returned buffers as read-only. *)
 
-val raw_blocks : t -> Bytes.t
+val raw_blocks : t -> Storage.t
 val raw_super : t -> int array
 
 val of_raw :
-  rate:int -> len:int -> sentinels:int array -> blocks:Bytes.t -> super:int array -> t
-(** Re-adopt buffers written by a v2 index file.  Validates the geometry
-    (buffer sizes for [len] and [rate], sorted sentinels), clears payload
-    padding lanes, and verifies every stored checkpoint against one
-    sequential table recount of the payload (a memory-bandwidth scan; no
-    reconstruction of any kind); raises [Invalid_argument] on any
-    mismatch. *)
+  rate:int -> len:int -> sentinels:int array -> blocks:Storage.t -> super:int array -> t
+(** Re-adopt buffers read (or mapped) from an index file.  Validates the
+    geometry (buffer sizes for [len] and [rate], sorted sentinels),
+    clears payload padding lanes, and verifies every stored checkpoint
+    against one sequential table recount of the payload (a
+    memory-bandwidth scan; no reconstruction of any kind); raises
+    [Invalid_argument] on any mismatch. *)
+
+val of_raw_trusted :
+  rate:int ->
+  len:int ->
+  sentinels:int array ->
+  blocks:Storage.t ->
+  super:int array ->
+  totals:int array ->
+  t
+(** {!of_raw} minus the O(n) checkpoint recount, for the mmap fast
+    path: geometry and sentinel validation and padding clearing still
+    happen, but the stored checkpoints are taken at face value and the
+    character [totals] (length [sigma], [totals.(0)] = sentinel count,
+    summing to [len]) come from the caller — in practice the v4 header,
+    whose own CRC has already been checked.  A corrupted payload that
+    slips past the file-level CRCs therefore yields wrong answers, not
+    crashes: every offset derived from the validated geometry stays in
+    bounds.  [kmm verify] re-runs the full {!of_raw} recount. *)
 
 (** {1 Differential reference} *)
 

@@ -1,15 +1,19 @@
 (* 2-bit packed DNA text.  Lane i lives in byte (i lsr 2) at bit offset
    (i land 3) * 2, LSB first — the byte layout shared by the in-memory
-   rank blocks and the on-disk payload of both index formats. *)
+   rank blocks and the on-disk payload of every index format.  The
+   buffer is a Storage.t, so it is either heap-allocated or a view over
+   an mmap'd format-v4 section; readers cannot tell the difference. *)
 
-type t = { data : Bytes.t; len : int }
+module A1 = Bigarray.Array1
 
-let empty = { data = Bytes.empty; len = 0 }
+type t = { data : Storage.t; len : int }
+
+let empty = { data = Storage.create 0; len = 0 }
 let length t = t.len
 let nbytes len = (len + 3) / 4
 
 let unsafe_get t i =
-  Char.code (Bytes.unsafe_get t.data (i lsr 2)) lsr ((i land 3) * 2) land 3
+  A1.unsafe_get t.data (i lsr 2) lsr ((i land 3) * 2) land 3
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Packed_text.get: index out of range";
@@ -17,13 +21,12 @@ let get t i =
 
 let init n f =
   if n < 0 then invalid_arg "Packed_text.init: negative length";
-  let data = Bytes.make (nbytes n) '\000' in
+  let data = Storage.create (nbytes n) in
   for i = 0 to n - 1 do
     let d = f i in
     if d < 0 || d > 3 then invalid_arg "Packed_text.init: lane code out of range";
     let b = i lsr 2 in
-    Bytes.unsafe_set data b
-      (Char.unsafe_chr (Char.code (Bytes.unsafe_get data b) lor (d lsl ((i land 3) * 2))))
+    A1.unsafe_set data b (A1.unsafe_get data b lor (d lsl ((i land 3) * 2)))
   done;
   { data; len = n }
 
@@ -56,17 +59,24 @@ let of_string s =
 
 let to_string t = String.init t.len (fun i -> base_of_code (unsafe_get t i))
 
-let bytes t = t.data
+let storage t = t.data
+let payload_string t = Storage.to_string t.data
+
+let of_storage data ~len =
+  if len < 0 then invalid_arg "Packed_text.of_storage: negative length";
+  if Storage.length data <> nbytes len then
+    invalid_arg "Packed_text.of_storage: payload size does not match length";
+  (* Clear padding lanes of the last byte so byte-parallel counts stay
+     exact even on dirty input.  Mapped storage is copy-on-write, so
+     this never reaches the file. *)
+  (if len land 3 <> 0 then
+     let last = Storage.length data - 1 in
+     let keep = (1 lsl ((len land 3) * 2)) - 1 in
+     A1.set data last (A1.get data last land keep));
+  { data; len }
 
 let of_bytes payload ~len =
   if len < 0 then invalid_arg "Packed_text.of_bytes: negative length";
   if String.length payload <> nbytes len then
     invalid_arg "Packed_text.of_bytes: payload size does not match length";
-  let data = Bytes.of_string payload in
-  (* Clear padding lanes of the last byte so byte-parallel counts stay
-     exact even on dirty input. *)
-  (if len land 3 <> 0 then
-     let last = Bytes.length data - 1 in
-     let keep = (1 lsl ((len land 3) * 2)) - 1 in
-     Bytes.set data last (Char.chr (Char.code (Bytes.get data last) land keep)));
-  { data; len }
+  of_storage (Storage.of_string payload) ~len

@@ -6,12 +6,13 @@
     with the sentinel excluded) at four lanes per byte: lane [i] lives in
     byte [i / 4] at bit offset [(i mod 4) * 2], least significant bits
     first.  This is exactly the byte layout of the on-disk index payload
-    (both format v1 and v2), so persistence is a [Bytes] copy, and it is
-    the layout {!Occ} interleaves with its rank checkpoints.
+    (every format version), so persistence is a flat copy — or, for
+    format v4, no copy at all: {!of_storage} adopts an mmap'd section in
+    place.
 
     Unused lanes in the final byte are always zero — builders guarantee
-    it and {!of_bytes} enforces it — so word/byte-parallel population
-    counts over whole bytes never see garbage lanes. *)
+    it and the adopting constructors enforce it — so word/byte-parallel
+    population counts over whole bytes never see garbage lanes. *)
 
 type t
 
@@ -38,16 +39,25 @@ val of_string : string -> t
 val to_string : t -> string
 (** Unpack back to a lowercase [acgt] string. *)
 
-val bytes : t -> Bytes.t
+val storage : t -> Storage.t
 (** The underlying packed buffer, [ceil (length / 4)] bytes.  Shared,
     not copied: treat as read-only. *)
 
+val payload_string : t -> string
+(** The packed buffer copied out as a string (the on-disk section
+    payload). *)
+
+val of_storage : Storage.t -> len:int -> t
+(** [of_storage data ~len] adopts a packed buffer — heap or mmap'd —
+    holding [len] lanes, without copying.  Raises [Invalid_argument] if
+    [data] is not exactly [ceil (len / 4)] bytes.  Trailing lanes of
+    the final byte are cleared in place (copy-on-write for mapped
+    storage), so a file whose padding bits are dirty still yields a
+    canonical value. *)
+
 val of_bytes : string -> len:int -> t
-(** [of_bytes payload ~len] adopts a packed payload (as produced by
-    {!bytes} or read from an index file) holding [len] lanes.  Raises
-    [Invalid_argument] if [payload] is not exactly [ceil (len / 4)]
-    bytes.  Trailing lanes of the final byte are cleared, so a file
-    whose padding bits are dirty still yields a canonical value. *)
+(** [of_bytes payload ~len] copies a packed payload string into a fresh
+    heap buffer and adopts it; same contract as {!of_storage}. *)
 
 val base_of_code : int -> char
 (** [base_of_code d] is the base character of lane code [d] (0..3). *)

@@ -1,0 +1,93 @@
+module A1 = Bigarray.Array1
+
+type t = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) A1.t
+type words = (int64, Bigarray.int64_elt, Bigarray.c_layout) A1.t
+
+(* Bigarray allocation leaves contents undefined; the index code relies
+   on padding lanes being zero, so heap buffers are always cleared. *)
+let create n =
+  let a = A1.create Bigarray.int8_unsigned Bigarray.c_layout n in
+  A1.fill a 0;
+  a
+
+let create_words n =
+  let a = A1.create Bigarray.int64 Bigarray.c_layout n in
+  A1.fill a 0L;
+  a
+
+let length (a : t) = A1.dim a
+let length_words (a : words) = A1.dim a
+
+let of_string s =
+  let n = String.length s in
+  let a = create n in
+  for i = 0 to n - 1 do
+    A1.unsafe_set a i (Char.code (String.unsafe_get s i))
+  done;
+  a
+
+let to_string (a : t) =
+  let n = A1.dim a in
+  String.init n (fun i -> Char.unsafe_chr (A1.unsafe_get a i))
+
+let blit (src : t) spos (dst : t) dpos len =
+  if len > 0 then A1.blit (A1.sub src spos len) (A1.sub dst dpos len)
+
+let word (a : words) i = Int64.to_int (A1.unsafe_get a i)
+let set_word (a : words) i v = A1.unsafe_set a i (Int64.of_int v)
+
+let words_to_string (a : words) =
+  let n = A1.dim a in
+  let b = Bytes.create (n * 8) in
+  for i = 0 to n - 1 do
+    Bytes.set_int64_le b (i * 8) (A1.get a i)
+  done;
+  Bytes.unsafe_to_string b
+
+let words_of_string s =
+  let len = String.length s in
+  if len mod 8 <> 0 then
+    invalid_arg "Storage.words_of_string: length not a multiple of 8";
+  let n = len / 8 in
+  let a = create_words n in
+  for i = 0 to n - 1 do
+    A1.set a i (String.get_int64_le s (i * 8))
+  done;
+  a
+
+let map_bytes fd ~pos ~len : t =
+  if len = 0 then create 0
+  else
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int8_unsigned
+         Bigarray.c_layout false [| len |])
+
+let map_words fd ~pos ~len : words =
+  if len = 0 then create_words 0
+  else
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int64
+         Bigarray.c_layout false [| len |])
+
+module Memo = struct
+  type 'a t = { m : Mutex.t; cell : 'a option Atomic.t; f : unit -> 'a }
+
+  let make f = { m = Mutex.create (); cell = Atomic.make None; f }
+
+  let force t =
+    match Atomic.get t.cell with
+    | Some v -> v
+    | None ->
+        Mutex.lock t.m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.m)
+          (fun () ->
+            match Atomic.get t.cell with
+            | Some v -> v
+            | None ->
+                let v = t.f () in
+                Atomic.set t.cell (Some v);
+                v)
+
+  let is_forced t = Atomic.get t.cell <> None
+end

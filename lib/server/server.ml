@@ -14,6 +14,7 @@
    mutexes are leaves. *)
 
 module Kmismatch = Core.Kmismatch
+module Corpus = Core.Corpus
 
 exception Conn_lost
 (* A peer vanished mid-write (EPIPE with SIGPIPE ignored, or reset).
@@ -148,7 +149,7 @@ type job = {
 
 type t = {
   cfg : config;
-  idx : Kmismatch.index;
+  corpus : Corpus.t;
   listen_fd : Unix.file_descr;
   pool : Core.Work_pool.t;
   (* query queue *)
@@ -201,7 +202,7 @@ let process_batch t (batch : job array) =
              ~pattern:j.pattern ~k:j.k ()
          in
          answers.(task) <-
-           (match Kmismatch.try_run t.idx query with
+           (match Corpus.try_run t.corpus query with
            | r -> r
            | exception e -> Error (Kmm_error.Internal (Printexc.to_string e))))
    with e ->
@@ -280,7 +281,9 @@ let info_fields t =
   let open Protocol in
   [
     ("protocol", Json.Int 1);
-    ("length", Json.Int (Kmismatch.length t.idx));
+    ("length", Json.Int (Corpus.length t.corpus));
+    ("shards", Json.Int (Corpus.nshards t.corpus));
+    ("max_query", Json.Int (Corpus.max_query t.corpus));
     ("domains", Json.Int (Core.Work_pool.domains t.pool));
     ( "engines",
       Json.List
@@ -401,22 +404,39 @@ let acceptor_loop t =
 let claim_socket_path path =
   if Sys.file_exists path then begin
     let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* [Fun.protect], not a close after the match: an unexpected raise
+       out of [connect] must not leak the probe fd. *)
     let live =
-      match Unix.connect probe (Unix.ADDR_UNIX path) with
-      | () -> true
-      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
-      | exception Unix.Unix_error _ -> false
+      Fun.protect
+        ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+          | exception Unix.Unix_error _ -> false)
     in
-    (try Unix.close probe with Unix.Unix_error _ -> ());
     if live then
       Kmm_error.raise_error
         (Kmm_error.Io (Failure (Printf.sprintf "%s: a daemon is already listening" path)))
     else try Unix.unlink path with Unix.Unix_error _ -> ()
   end
 
-let start cfg idx =
+(* Linux [sun_path] is 108 bytes including the terminating NUL.  A
+   longer path would surface from [Unix.bind] (or even the pre-bind
+   liveness probe) as a raw [Unix_error]/[Invalid_argument]; refuse it
+   up front as the typed bad-input it is. *)
+let max_socket_path = 107
+
+let start cfg corpus =
   if cfg.domains < 1 then invalid_arg "Server.start: domains must be >= 1";
   if cfg.batch_max < 1 then invalid_arg "Server.start: batch_max must be >= 1";
+  if String.length cfg.socket_path > max_socket_path then
+    Kmm_error.raise_error
+      (Kmm_error.Bad_input
+         (Printf.sprintf
+            "socket path is %d bytes; AF_UNIX socket paths are limited to %d bytes"
+            (String.length cfg.socket_path)
+            max_socket_path));
   (* A disconnecting client must never kill the daemon: writes to a dead
      peer report EPIPE instead of raising the default-fatal SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -436,7 +456,7 @@ let start cfg idx =
   let t =
     {
       cfg;
-      idx;
+      corpus;
       listen_fd;
       pool = Core.Work_pool.create ~domains:cfg.domains ();
       qm = Mutex.create ();
@@ -456,8 +476,11 @@ let start cfg idx =
   t.dispatcher <- Some (Thread.create dispatcher_loop t);
   t.acceptor <- Some (Thread.create acceptor_loop t);
   cfg.log
-    (Printf.sprintf "listening on %s (%d bp index, %d domain%s, batch <= %d)"
-       cfg.socket_path (Kmismatch.length idx) cfg.domains
+    (Printf.sprintf "listening on %s (%d bp corpus, %d shard%s, %d domain%s, batch <= %d)"
+       cfg.socket_path (Corpus.length corpus)
+       (Corpus.nshards corpus)
+       (if Corpus.nshards corpus = 1 then "" else "s")
+       cfg.domains
        (if cfg.domains = 1 then "" else "s")
        cfg.batch_max);
   t
@@ -486,8 +509,8 @@ let stop t =
     t.cfg.log "stopped (drained)"
   end
 
-let serve ?trace_out ?metrics_out cfg idx =
-  let t = start cfg idx in
+let serve ?trace_out ?metrics_out cfg corpus =
+  let t = start cfg corpus in
   let install sg = Sys.signal sg (Sys.Signal_handle (fun _ -> request_stop t)) in
   let old_int = install Sys.sigint in
   let old_term = install Sys.sigterm in

@@ -1,9 +1,9 @@
 (** [kmm serve]: a long-running k-mismatch query daemon over a Unix
     domain socket.
 
-    The daemon loads one immutable {!Core.Kmismatch.index} at startup
-    and answers {!Protocol} frames from any number of concurrent
-    clients.  Each connection is served by a lightweight thread that
+    The daemon loads one immutable {!Core.Corpus.t} at startup — a
+    monolithic index or a sharded manifest, optionally mmap'd — and
+    answers {!Protocol} frames from any number of concurrent clients.  Each connection is served by a lightweight thread that
     reads frames, admits them against the configured {!Protocol.limits}
     and enqueues admitted queries on a shared batcher; a dispatcher
     thread drains the queue in batches of at most [batch_max] and fans
@@ -56,11 +56,18 @@ val default_config : socket_path:string -> config
 
 type t
 
-val start : config -> Core.Kmismatch.index -> t
+val max_socket_path : int
+(** Longest accepted [socket_path] in bytes (107: Linux [sun_path] is
+    108 including the NUL).  A longer path is refused by {!start} as
+    [Kmm_error.Error (Bad_input _)] naming the limit, instead of
+    surfacing as a raw [Unix_error] from [bind]. *)
+
+val start : config -> Core.Corpus.t -> t
 (** Bind the socket and spawn the acceptor and dispatcher; returns once
     the daemon is accepting.  If the socket path is already bound by a
     live daemon, raises [Kmm_error.Error (Io _)]; a stale socket file
-    left by a crashed process is replaced.
+    left by a crashed process is replaced; a path longer than
+    {!max_socket_path} raises [Kmm_error.Error (Bad_input _)].
     @raise Kmm_error.Error on socket setup failure. *)
 
 val request_stop : t -> unit
@@ -81,7 +88,7 @@ val metrics_text : t -> string
     wire command returns). *)
 
 val serve :
-  ?trace_out:string -> ?metrics_out:string -> config -> Core.Kmismatch.index -> unit
+  ?trace_out:string -> ?metrics_out:string -> config -> Core.Corpus.t -> unit
 (** The blocking CLI entry point: {!start}, install [SIGINT]/[SIGTERM]
     handlers that {!request_stop}, wait, then {!stop} — and on the way
     out write the sink as a Chrome trace and/or Prometheus file when

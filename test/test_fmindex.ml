@@ -237,13 +237,13 @@ let test_fm_space_report () =
   (* Samples: text positions divisible by 16 (63 of them) plus row 0. *)
   check int "sa samples" (8 * 64) (List.assoc "sa samples" report);
   check int "c array" (8 * Dna.Alphabet.sigma) (List.assoc "c array" report);
-  check int "text" n (List.assoc "text (1 byte/char)" report);
+  check int "packed text" ((n + 3) / 4) (List.assoc "packed text (2 bit/base)" report);
   (* The packed index beats the seed's byte-per-char BWT + codes table by
      construction: the whole rank structure fits in well under n bytes. *)
   check bool "rank structure under 1 byte/base" true (occ_bytes < n);
   (* No double counting: the report's sum is exactly the component sum. *)
   let total = List.fold_left (fun acc (_, v) -> acc + v) 0 report in
-  check int "entries sum" (occ_bytes + marks_bytes + (8 * 64) + 40 + n) total
+  check int "entries sum" (occ_bytes + marks_bytes + (8 * 64) + 40 + ((n + 3) / 4)) total
 
 let test_fm_pattern_validation () =
   (* Satellite: searching uppercase or non-ACGT patterns must not raise.

@@ -117,18 +117,18 @@ let test_fm_load_truncated () =
       | _ -> Alcotest.fail "truncated file accepted")
 
 let test_index_file_size () =
-  (* Format v3 serializes the index's own buffers — packed text (n/4),
+  (* Format v4 serializes the index's own buffers — packed text (n/4),
      interleaved rank blocks (~n/2 at rate 32), SA marks (~n/8) and
-     samples (~n/2 at rate 16) plus 28 bytes of checksums — trading
-     ~1.4 bytes/base of file for a load that performs no reconstruction
-     at all. *)
+     samples (~n/2 at rate 16) plus ~260 bytes of header, section table
+     and checksums — trading ~1.4 bytes/base of file for a load that
+     performs no reconstruction at all. *)
   with_temp (fun path ->
       let text = Dna.Sequence.to_string (Dna.Sequence.random ~state:(Random.State.make [| 4 |]) 10_000) in
       Fmindex.Fm_index.save (Fmindex.Fm_index.build text) path;
       let size = (Unix.stat path).Unix.st_size in
       check bool "about 1.4 n" true (size < 14_500 && size > 13_000))
 
-let test_v3_header () =
+let test_v4_header () =
   (* [save] writes the current format: other tools (and these tests) may
      rely on the version token. *)
   with_temp (fun path ->
@@ -136,14 +136,14 @@ let test_v3_header () =
       let line = In_channel.with_open_bin path In_channel.input_line in
       match line with
       | Some l ->
-          check bool "v3 magic" true
-            (String.length l > 14 && String.sub l 0 14 = "kmm-fm-index 3")
+          check bool "v4 magic" true
+            (String.length l > 14 && String.sub l 0 14 = "kmm-fm-index 4")
       | None -> Alcotest.fail "empty index file")
 
-let test_v3_section_corruption () =
+let test_v4_section_corruption () =
   (* Flip bytes inside the binary sections of a saved file; every
-     corruption must be rejected (in v3 by the per-section CRCs), never
-     loaded quietly. *)
+     corruption must be rejected (in v4 by the per-section CRCs and the
+     whole-file trailer CRC), never loaded quietly. *)
   with_temp (fun path ->
       let st = Random.State.make [| 9 |] in
       let text = Test_util.random_dna st 400 in
@@ -161,16 +161,14 @@ let test_v3_section_corruption () =
         | exception Failure _ -> ()
         | _ -> Alcotest.fail (Printf.sprintf "corruption at byte %d accepted" off)
       in
-      (* First text byte: changes character totals vs the rank blocks. *)
+      (* A byte of the section-offset table: caught by the header CRC. *)
       corrupt_at header_len;
-      (* Last 8 bytes are the final SA sample; 0xff-flip sends it far out
-         of [0, n]. *)
+      (* Last byte is part of the trailer CRC itself. *)
       corrupt_at (String.length content - 1);
-      (* A byte in the rank-block region: relative counts / totals become
-         inconsistent with the text section. *)
-      corrupt_at (header_len + 100 + 8))
+      (* A byte in the binary sections: per-section CRC mismatch. *)
+      corrupt_at (header_len + 300 + 8))
 
-let test_v3_truncated_sections () =
+let test_v4_truncated_sections () =
   (* Truncate at several byte counts spanning every section boundary. *)
   with_temp (fun path ->
       let text = Test_util.random_dna (Random.State.make [| 11 |]) 300 in
@@ -188,6 +186,95 @@ let test_v3_truncated_sections () =
             | _ -> Alcotest.fail (Printf.sprintf "truncation to %d bytes accepted" keep)
           end)
         [ 0; 10; 40; 100; 200; 400; 600; n - 1 ])
+
+let test_saved_file_permissions () =
+  (* [write_atomic] builds the file under a 0o600 temp name; the final
+     index must still be world-readable (0o644 masked by the process
+     umask), or every build-as-root / serve-as-daemon split breaks. *)
+  with_temp (fun path ->
+      Fmindex.Fm_index.save (Fmindex.Fm_index.build "acgtacgtacgt") path;
+      let um = Unix.umask 0 in
+      ignore (Unix.umask um);
+      let expected = 0o644 land lnot um in
+      check int "mode is 0o644 & ~umask" expected
+        ((Unix.stat path).Unix.st_perm land 0o777))
+
+let test_load_proc_style_file () =
+  (* Regression: the loader must not trust a stat/channel-length size
+     probe.  /proc files report st_size = 0 while holding real content;
+     a size-trusting reader sees an empty image (Truncated), the chunked
+     reader reads the actual bytes and reports them for what they are:
+     not an index at all (Bad_magic).  Either way the failure is a typed
+     result, never a stray [End_of_file]. *)
+  let path = "/proc/self/status" in
+  if Sys.file_exists path then
+    match Fmindex.Fm_index.try_load path with
+    | Error Kmm_error.Bad_magic -> ()
+    | Error e ->
+        Alcotest.fail
+          ("proc file content was not read: " ^ Kmm_error.to_string e)
+    | Ok _ -> Alcotest.fail "proc file accepted as an index"
+
+let test_load_directory_is_typed_io () =
+  match Fmindex.Fm_index.try_load "." with
+  | Error (Kmm_error.Io _) -> ()
+  | Error e -> Alcotest.fail ("expected Io, got " ^ Kmm_error.to_string e)
+  | Ok _ -> Alcotest.fail "directory accepted as an index"
+
+let test_load_missing_is_typed_io () =
+  match Fmindex.Fm_index.try_load "/nonexistent/kmm/index.fmi" with
+  | Error (Kmm_error.Io _) -> ()
+  | Error e -> Alcotest.fail ("expected Io, got " ^ Kmm_error.to_string e)
+  | Ok _ -> Alcotest.fail "missing file accepted as an index"
+
+(* ------------------------------------------------------------------ *)
+(* Mmap adoption: byte-identical answers to the copy loader. *)
+
+let prop_mmap_equals_copy =
+  Test_util.qtest ~count:60 "mmap load = copy load"
+    QCheck2.Gen.(pair (Test_util.dna_gen ~lo:1 ~hi:400 ()) (Test_util.dna_gen ~lo:1 ~hi:8 ()))
+    (fun (text, pattern) ->
+      with_temp (fun path ->
+          let fm = Fmindex.Fm_index.build text in
+          Fmindex.Fm_index.save fm path;
+          let heap = Fmindex.Fm_index.load ~mode:Fmindex.Fm_index.Copy path in
+          let mm = Fmindex.Fm_index.load ~mode:Fmindex.Fm_index.Mmap path in
+          Fmindex.Fm_index.text mm = Fmindex.Fm_index.text heap
+          && Fmindex.Fm_index.bwt mm = Fmindex.Fm_index.bwt heap
+          && Fmindex.Fm_index.find_all mm pattern = Fmindex.Fm_index.find_all heap pattern
+          && Fmindex.Fm_index.count mm pattern = Fmindex.Fm_index.count heap pattern))
+
+let test_mmap_falls_back_on_pre_v4 () =
+  (* Pre-v4 layouts are unaligned, so Mmap mode adopts them by copy:
+     the file still loads and answers exactly like the Copy path. *)
+  let heap = Fmindex.Fm_index.load ~mode:Fmindex.Fm_index.Copy "fixtures/v1-random211.fmi" in
+  let mm = Fmindex.Fm_index.load ~mode:Fmindex.Fm_index.Mmap "fixtures/v1-random211.fmi" in
+  check string "text" (Fmindex.Fm_index.text heap) (Fmindex.Fm_index.text mm);
+  check Alcotest.(list int) "find_all" (Fmindex.Fm_index.find_all heap "acg")
+    (Fmindex.Fm_index.find_all mm "acg")
+
+let test_mmap_detects_truncation_and_header_damage () =
+  (* The mmap loader skips payload CRCs by design, but size/geometry and
+     header-CRC checks must still catch truncation and header bytes. *)
+  with_temp (fun path ->
+      let text = Test_util.random_dna (Random.State.make [| 31 |]) 500 in
+      Fmindex.Fm_index.save (Fmindex.Fm_index.build text) path;
+      let content = In_channel.with_open_bin path In_channel.input_all in
+      let rewrite s =
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc
+      in
+      rewrite (String.sub content 0 (String.length content - 5));
+      (match Fmindex.Fm_index.try_load ~mode:Fmindex.Fm_index.Mmap path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "truncated file accepted by the mmap loader");
+      let b = Bytes.of_string content in
+      Bytes.set b 20 'Z' (* inside the L1 header line *);
+      rewrite (Bytes.to_string b);
+      match Fmindex.Fm_index.try_load ~mode:Fmindex.Fm_index.Mmap path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "header damage accepted by the mmap loader")
 
 (* ------------------------------------------------------------------ *)
 (* Committed v1 fixtures: files written by the previous release must
@@ -213,15 +300,15 @@ let test_v1_fixture_random () =
         (Fmindex.Fm_index.find_all fresh pat) (Fmindex.Fm_index.find_all fm pat))
     [ "a"; "tt"; "acg"; "gatc"; String.sub expected 100 7 ]
 
-let test_v1_fixture_resave_is_v3 () =
+let test_v1_fixture_resave_is_v4 () =
   (* Loading a v1 file and saving it again migrates to the current
-     format (v3). *)
+     format (v4). *)
   with_temp (fun path ->
       let fm = Fmindex.Fm_index.load "fixtures/v1-random211.fmi" in
       Fmindex.Fm_index.save fm path;
       let line = In_channel.with_open_bin path In_channel.input_line in
       (match line with
-      | Some l -> check bool "resave v3" true (String.sub l 0 14 = "kmm-fm-index 3")
+      | Some l -> check bool "resave v4" true (String.sub l 0 14 = "kmm-fm-index 4")
       | None -> Alcotest.fail "empty resave");
       let fm' = Fmindex.Fm_index.load path in
       check string "text survives migration" (Fmindex.Fm_index.text fm)
@@ -380,12 +467,20 @@ let () =
           Alcotest.test_case "bad rates rejected" `Quick test_fm_load_bad_rates;
           Alcotest.test_case "trailing garbage rejected" `Quick test_fm_load_trailing_garbage;
           Alcotest.test_case "file size ~ 1.4 n" `Quick test_index_file_size;
-          Alcotest.test_case "v3 header written" `Quick test_v3_header;
-          Alcotest.test_case "v3 section corruption rejected" `Quick test_v3_section_corruption;
-          Alcotest.test_case "v3 truncated sections rejected" `Quick test_v3_truncated_sections;
+          Alcotest.test_case "v4 header written" `Quick test_v4_header;
+          Alcotest.test_case "v4 section corruption rejected" `Quick test_v4_section_corruption;
+          Alcotest.test_case "v4 truncated sections rejected" `Quick test_v4_truncated_sections;
+          Alcotest.test_case "saved file is world-readable" `Quick test_saved_file_permissions;
+          Alcotest.test_case "proc-style file read to EOF" `Quick test_load_proc_style_file;
+          Alcotest.test_case "directory gives typed Io" `Quick test_load_directory_is_typed_io;
+          Alcotest.test_case "missing file gives typed Io" `Quick test_load_missing_is_typed_io;
+          Alcotest.test_case "mmap adopts pre-v4 by copy" `Quick test_mmap_falls_back_on_pre_v4;
+          Alcotest.test_case "mmap catches truncation/header damage" `Quick
+            test_mmap_detects_truncation_and_header_damage;
+          prop_mmap_equals_copy;
           Alcotest.test_case "v1 fixture: paper text" `Quick test_v1_fixture_paper;
           Alcotest.test_case "v1 fixture: random211" `Quick test_v1_fixture_random;
-          Alcotest.test_case "v1 fixture: resave migrates to v3" `Quick test_v1_fixture_resave_is_v3;
+          Alcotest.test_case "v1 fixture: resave migrates to v4" `Quick test_v1_fixture_resave_is_v4;
           Alcotest.test_case "v2 fixture: paper text" `Quick test_v2_fixture_paper;
           Alcotest.test_case "v2 fixture: random317" `Quick test_v2_fixture_random;
           Alcotest.test_case "save_v2 output loads" `Quick test_save_v2_loads;

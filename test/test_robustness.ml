@@ -169,6 +169,70 @@ let prop_truncation_rejected =
       truncation_rejected image keep)
 
 (* ------------------------------------------------------------------ *)
+(* The mmap reader's (weaker, but still closed) detection contract:
+   every corruption of the CRC-guarded header region and every
+   truncation is rejected; a payload corruption may load — the payload
+   CRC sweep is deliberately skipped, that is the cold-start win — but
+   geometry validation must keep queries from ever crashing on it.     *)
+
+let test_v4_mmap_header_sweep () =
+  let fm = fm_of_seed ~len:151 5 in
+  let image = Fmindex.Fm_index.serialize fm in
+  (* L1 line + 184-byte section table + 14-byte hcrc line *)
+  let hdr_len = String.index image '\n' + 1 + 184 + 14 in
+  let path = Filename.temp_file "kmmrob" ".fmi" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let write s =
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc
+      in
+      let bad = ref 0 in
+      for off = 0 to hdr_len - 1 do
+        let b = Bytes.of_string image in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff));
+        write (Bytes.unsafe_to_string b);
+        match Fmindex.Fm_index.try_load ~mode:Fmindex.Fm_index.Mmap path with
+        | Error _ -> ()
+        | Ok _ ->
+            incr bad;
+            Printf.eprintf "mmap: header byte %d of %d: 0xff flip accepted\n" off hdr_len
+      done;
+      check int (Printf.sprintf "all %d header corruptions rejected" hdr_len) 0 !bad;
+      (* every strict prefix *)
+      for keep = 0 to String.length image - 1 do
+        write (String.sub image 0 keep);
+        match Fmindex.Fm_index.try_load ~mode:Fmindex.Fm_index.Mmap path with
+        | Error e when acceptable_truncation e -> ()
+        | Error e -> Alcotest.failf "mmap: truncation to %d: wrong error %s" keep (error_tag e)
+        | Ok _ -> Alcotest.failf "mmap: truncation to %d of %d accepted" keep (String.length image)
+      done;
+      (* Payload flips: the mmap loader accepts them by design (no O(n)
+         CRC sweep).  The containment contract is weaker but real:
+         queries on the corrupted index terminate with an answer —
+         possibly wrong — or a clean bounds/walk exception; never
+         memory-unsafety, never a hang (the LF walk is bounded by
+         sa_rate steps).  [kmm verify] is the tool that detects this. *)
+      let n = String.length image in
+      List.iter
+        (fun off ->
+          let b = Bytes.of_string image in
+          Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff));
+          write (Bytes.unsafe_to_string b);
+          match Fmindex.Fm_index.try_load ~mode:Fmindex.Fm_index.Mmap path with
+          | Error _ -> ()
+          | Ok fm' ->
+              List.iter
+                (fun p ->
+                  match Fmindex.Fm_index.find_all fm' p with
+                  | _ -> ()
+                  | exception (Invalid_argument _ | Failure _) -> ())
+                [ "a"; "acgt"; "ttttttttt" ])
+        [ hdr_len + 8; (hdr_len + n) / 2; n - 9 ])
+
+(* ------------------------------------------------------------------ *)
 (* Atomicity: failed saves leave the old file (or nothing), no temp     *)
 
 let with_temp_dir f =
@@ -470,6 +534,8 @@ let () =
         ] );
       ( "truncation",
         [
+          Alcotest.test_case "v4 mmap header sweep + prefixes" `Quick
+            test_v4_mmap_header_sweep;
           Alcotest.test_case "every prefix rejected (v2+v3)" `Quick
             test_every_truncation_rejected;
           prop_truncation_rejected;

@@ -56,7 +56,7 @@ let with_server ?(limits = P.default_limits) ?(domains = 2) f =
       (Printf.sprintf "kmm-test-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
   in
   let cfg = { (S.default_config ~socket_path:path) with domains; batch_max = 8; limits } in
-  let t = S.start cfg (Lazy.force index) in
+  let t = S.start cfg (Core.Corpus.mono (Lazy.force index)) in
   Fun.protect ~finally:(fun () -> S.stop t) (fun () -> f t path)
 
 let rpc_exn c frame =
@@ -333,6 +333,29 @@ let server_concurrent_identity () =
           Alcotest.(check string) (Printf.sprintf "query %d byte-identical" i) exp got.(i))
         expected)
 
+let server_socket_path_too_long () =
+  (* AF_UNIX sun_path holds 108 bytes including the NUL; a longer path
+     must be refused up front as a typed Bad_input naming the limit, not
+     surface as a raw Unix_error (or worse, bind to a silently truncated
+     path). *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (String.make (S.max_socket_path + 1) 'x' ^ ".sock")
+  in
+  let cfg = { (S.default_config ~socket_path:path) with domains = 1 } in
+  match S.start cfg (Core.Corpus.mono (Lazy.force index)) with
+  | exception Kmm_error.Error (Kmm_error.Bad_input msg) ->
+      Alcotest.(check bool) "message names the 107-byte limit" true
+        (let needle = "107" in
+         let n = String.length msg and l = String.length needle in
+         let rec scan i = i + l <= n && (String.sub msg i l = needle || scan (i + 1)) in
+         scan 0)
+  | exception e ->
+      Alcotest.fail ("expected typed Bad_input, got " ^ Printexc.to_string e)
+  | t ->
+      S.stop t;
+      Alcotest.fail "over-long socket path accepted"
+
 let server_shutdown_command () =
   with_server (fun t path ->
       let c = S.Client.connect path in
@@ -371,6 +394,7 @@ let () =
             server_client_killed_mid_response;
           Alcotest.test_case "concurrent = sequential" `Quick server_concurrent_identity;
           Alcotest.test_case "shutdown command" `Quick server_shutdown_command;
+          Alcotest.test_case "socket path over sun_path" `Quick server_socket_path_too_long;
         ] );
       ("bench", [ Alcotest.test_case "serve bench smoke" `Quick bench_smoke ]);
     ]
