@@ -19,6 +19,9 @@ type ctx = {
   connections : int list;  (* serve: connection counts to sweep *)
   queries : int;  (* serve: queries per sweep point *)
   jobs : int;  (* serve: pool domains; 0 = all cores *)
+  smoke : bool;
+      (* replay the benchmark's cross-checks only — no timing, no JSON.
+         Honored by benches with a headless parity mode (verify). *)
 }
 
 let default_ctx =
@@ -30,6 +33,7 @@ let default_ctx =
     connections = [ 1; 2; 4; 8 ];
     queries = 2_000;
     jobs = 0;
+    smoke = false;
   }
 
 type entry = { name : string; doc : string; run : ctx -> unit }
@@ -60,6 +64,20 @@ let all =
          BENCH_fmindex.json; --size narrows to one size)";
       run =
         (fun c -> Load_modes.run ~obs:c.obs ?out:c.out ?size:c.size ~seed:c.seed ());
+    };
+    {
+      name = "verify";
+      doc =
+        "word-parallel SWAR Hamming kernel vs. the byte-scan reference on \
+         planted true hits (full-scan regime) and random windows (early-exit \
+         regime), m in 16..512, k in 0..16, at 1/32/128 Mbp (every call \
+         cross-checked; appends to BENCH_verify.json; --size narrows to one \
+         size; --smoke replays the cross-checks only)";
+      run =
+        (fun c ->
+          if c.smoke then Verify_bench.parity_smoke ?size:c.size ~seed:c.seed ()
+          else
+            Verify_bench.run ~obs:c.obs ?out:c.out ?size:c.size ~seed:c.seed ());
     };
     {
       name = "serve";

@@ -83,8 +83,10 @@ let with_obs ~trace ~metrics_out f =
   | _ ->
       let obs = Obs.create ~trace:(trace <> None) () in
       Fmindex.Fm_index.Telemetry.set_enabled true;
+      Fmindex.Packed_text.Telemetry.set_enabled true;
       let finish () =
         Fmindex.Fm_index.Telemetry.set_enabled false;
+        Fmindex.Packed_text.Telemetry.set_enabled false;
         Option.iter (Obs.write_chrome_trace ~process_name:"kmm" obs) trace;
         Option.iter (Obs.write_prometheus obs) metrics_out
       in
@@ -599,7 +601,7 @@ let fuzz_cmd =
    bench/main.exe harness, and the "available:" text is derived from it,
    so the two entry points cannot drift apart again. *)
 let bench_cmd =
-  let run which out size seed connections queries jobs trace metrics_out =
+  let run which out size seed connections queries jobs smoke trace metrics_out =
     match Bench_registry.find which with
     | None ->
         `Error
@@ -617,6 +619,7 @@ let bench_cmd =
                 connections;
                 queries;
                 jobs;
+                smoke;
               });
         `Ok ()
   in
@@ -664,6 +667,15 @@ let bench_cmd =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"serve: worker domains of the daemon (0 = all cores).")
   in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Headless parity mode: replay the benchmark's cross-checks only, \
+             with no timing and no JSON record (honored by verify; other \
+             benchmarks ignore it).")
+  in
   Cmd.v
     (Cmd.info "bench" ~doc:"Micro-benchmarks with machine-readable logs"
        ~man:
@@ -682,7 +694,7 @@ let bench_cmd =
     Term.(
       ret
         (const run $ which $ out $ size $ seed $ connections $ queries $ jobs
-       $ trace_arg $ metrics_arg))
+       $ smoke $ trace_arg $ metrics_arg))
 
 (* --- serve ----------------------------------------------------------- *)
 

@@ -9,18 +9,7 @@ let blocks ~pattern ~k =
       List.init b (fun i -> (i * len, String.sub pattern (i * len) len))
   end
 
-(* Early-abort window verification: O(m) worst case but O(k) on the
-   overwhelmingly common quick rejections. *)
-let distance_within pattern text pos k =
-  let m = String.length pattern in
-  let rec go j d =
-    if d > k then None
-    else if j >= m then Some d
-    else go (j + 1) (if pattern.[j] = text.[pos + j] then d else d + 1)
-  in
-  go 0 0
-
-let search ?stats ~pattern ~k text =
+let search ?stats ?ptext ~pattern ~k text =
   if pattern = "" then invalid_arg "Amir.search: empty pattern";
   if k < 0 then invalid_arg "Amir.search: negative k";
   let m = String.length pattern and n = String.length text in
@@ -32,12 +21,23 @@ let search ?stats ~pattern ~k text =
   else if k = 0 then
     List.map (fun p -> (p, 0)) (Stringmatch.Kmp.find_all ~pattern ~text)
   else begin
+    (* Window verification: word-parallel on the packed text when one
+       is supplied, an early-exit scalar scan otherwise.  Either way
+       O(k) on the overwhelmingly common quick rejections, and the
+       surviving (position, distance) pairs are identical. *)
+    let distance_within =
+      match ptext with
+      | Some pt when Fmindex.Packed_text.length pt = n ->
+          let pp = Fmindex.Packed_text.Pattern.make pattern in
+          fun pos -> Fmindex.Packed_text.hamming ~limit:k pt pp ~pos
+      | Some _ -> invalid_arg "Amir.search: packed text and text lengths differ"
+      | None -> fun pos -> Stringmatch.Hamming.distance_at ~limit:k ~pattern ~text pos
+    in
     let verify candidates =
       List.filter_map
         (fun pos ->
-          match distance_within pattern text pos k with
-          | Some d -> Some (pos, d)
-          | None -> None)
+          let d = distance_within pos in
+          if d <= k then Some (pos, d) else None)
         candidates
     in
     match blocks ~pattern ~k with

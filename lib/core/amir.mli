@@ -13,6 +13,17 @@ val blocks : pattern:string -> k:int -> (int * string) list
 (** The [(offset, block)] decomposition used for filtering; exposed for
     tests.  Empty when the filter is not applicable. *)
 
-val search : ?stats:Stats.t -> pattern:string -> k:int -> string -> (int * int) list
+val search :
+  ?stats:Stats.t ->
+  ?ptext:Fmindex.Packed_text.t ->
+  pattern:string ->
+  k:int ->
+  string ->
+  (int * int) list
 (** [search ~pattern ~k text] returns all [(position, distance)] with [distance <= k], ascending.  Raises
-    [Invalid_argument] on an empty pattern or negative [k]. *)
+    [Invalid_argument] on an empty pattern or negative [k].
+
+    With [?ptext] (the packed form of [text]; must be the same length,
+    or [Invalid_argument]) surviving candidates are verified by the
+    word-parallel kernel ({!Fmindex.Packed_text.hamming}) instead of a
+    scalar scan; the hits are identical either way. *)

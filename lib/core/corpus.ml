@@ -120,6 +120,10 @@ let target t =
                 (Mapper.target_of_index sh.s_index).Mapper.tgt_prepare engine)
               shards);
         tgt_run = (fun q -> try_run t q);
+        (* Global hit positions span shard boundaries; there is no
+           single packed text to re-check them against.  (Each shard's
+           own engines still verify word-parallel.) *)
+        tgt_packed = (fun () -> None);
       }
 
 (* ------------------------------------------------------------------ *)

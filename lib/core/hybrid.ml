@@ -1,6 +1,7 @@
 module Fm = Fmindex.Fm_index
+module Packed_text = Fmindex.Packed_text
 
-let search ?(use_delta = true) ?stats fm ~text ~pattern ~k =
+let search ?(use_delta = true) ?stats ?ptext fm ~text ~pattern ~k =
   if pattern = "" then invalid_arg "Hybrid.search: empty pattern";
   if k < 0 then invalid_arg "Hybrid.search: negative k";
   String.iter
@@ -34,16 +35,33 @@ let search ?(use_delta = true) ?stats fm ~text ~pattern ~k =
       done
     in
     let one = Array.make 1 0 in
+    (* Word-parallel verification when the packed forward text is
+       available: pack the pattern once per query.  (The kernel
+       recomputes the whole window rather than resuming at [j]; the
+       total is the same distance the scalar path reports.) *)
+    let packed =
+      match ptext with
+      | Some pt when Packed_text.length pt = n ->
+          Some (pt, Packed_text.Pattern.make pattern)
+      | Some _ ->
+          invalid_arg "Hybrid.search: packed text and index lengths differ"
+      | None -> None
+    in
     (* Direct verification of the window once its start is pinned down:
        [j] pattern characters already matched with [q] mismatches. *)
     let verify pos j q =
       if pos + m <= n then begin
-        let rec go j q =
-          if q > k then ()
-          else if j = m then results := (pos, q) :: !results
-          else go (j + 1) (if text.[pos + j] = pattern.[j] then q else q + 1)
-        in
-        go j q
+        match packed with
+        | Some (pt, pp) ->
+            let d = Packed_text.hamming ~limit:k pt pp ~pos in
+            if d <= k then results := (pos, d) :: !results
+        | None ->
+            let rec go j q =
+              if q > k then ()
+              else if j = m then results := (pos, q) :: !results
+              else go (j + 1) (if text.[pos + j] = pattern.[j] then q else q + 1)
+            in
+            go j q
       end
     in
     let rec expand iv j q =

@@ -11,6 +11,7 @@
 val search :
   ?use_delta:bool ->
   ?stats:Stats.t ->
+  ?ptext:Fmindex.Packed_text.t ->
   Fmindex.Fm_index.t ->
   text:string ->
   pattern:string ->
@@ -18,4 +19,9 @@ val search :
   (int * int) list
 (** [search fm_rev ~text ~pattern ~k]: [fm_rev] indexes [rev text]; the
     forward [text] is used for direct verification.  Same contract as
-    {!S_tree.search}. *)
+    {!S_tree.search}.
+
+    With [?ptext] (the packed forward text; must be the same length as
+    the index, or [Invalid_argument]) the verification step runs on the
+    word-parallel kernel ({!Fmindex.Packed_text.hamming}) instead of
+    comparing characters; the hits are identical either way. *)

@@ -25,6 +25,10 @@ type index = {
   text : string Fmindex.Storage.Memo.t;
   fm_rev : Fmindex.Fm_index.t;
   tree : Suffix.Suffix_tree.t Fmindex.Storage.Memo.t;
+  pforward : Fmindex.Packed_text.t Fmindex.Storage.Memo.t;
+      (* forward text, 2-bit packed: what the word-parallel verifiers
+         run against.  Derived by reversing the FM component's packed
+         payload — n/4 bytes, never the unpacked string. *)
 }
 
 let make_index ~text_memo fm_rev =
@@ -32,7 +36,11 @@ let make_index ~text_memo fm_rev =
     Fmindex.Storage.Memo.make (fun () ->
         Suffix.Suffix_tree.build (Fmindex.Storage.Memo.force text_memo))
   in
-  { text = text_memo; fm_rev; tree }
+  let pforward =
+    Fmindex.Storage.Memo.make (fun () ->
+        Fmindex.Packed_text.rev (Fmindex.Fm_index.packed_text fm_rev))
+  in
+  { text = text_memo; fm_rev; tree; pforward }
 
 let build_index ?occ_rate ?sa_rate raw =
   let text = Dna.Sequence.to_string (Dna.Sequence.of_string raw) in
@@ -46,6 +54,7 @@ let text t = Fmindex.Storage.Memo.force t.text
 let length t = Fmindex.Fm_index.length t.fm_rev
 let fm_rev t = t.fm_rev
 let suffix_tree t = Fmindex.Storage.Memo.force t.tree
+let packed_text t = Fmindex.Storage.Memo.force t.pforward
 
 module Query = struct
   type t = {
@@ -75,13 +84,22 @@ end
    FM-index telemetry hook is armed — rank-layer effort becomes [fm.*]
    counters).  All of these are per-record sums, so per-domain sinks
    merge to exactly the sequential totals. *)
-let flush_counters obs (s : Stats.t) fm_delta =
+(* Word-parallel verification effort as [verify.*] counters — shared
+   with the mapper, whose hit re-checking runs the kernel outside any
+   query span. *)
+let flush_verify obs (v : Fmindex.Packed_text.Telemetry.counters) =
+  Obs.add obs "verify.calls" v.calls;
+  Obs.add obs "verify.words" v.words;
+  Obs.add obs "verify.early_exits" v.early_exits
+
+let flush_counters obs (s : Stats.t) fm_delta verify_delta =
   Obs.add obs "engine.nodes" s.nodes;
   Obs.add obs "engine.leaves" s.leaves;
   Obs.add obs "engine.rank_calls" s.rank_calls;
   Obs.add obs "engine.derivations" s.derivations;
   Obs.add obs "engine.derived_leaves" s.derived_leaves;
   Obs.add obs "engine.resumes" s.resumes;
+  (match verify_delta with None -> () | Some v -> flush_verify obs v);
   match fm_delta with
   | None -> ()
   | Some (d : Fmindex.Fm_index.Telemetry.counters) ->
@@ -121,6 +139,12 @@ let run_validated t (q : Query.t) ~obs ~t0 ~pattern =
   let tele_before =
     if telemetry then Some (Fmindex.Fm_index.Telemetry.snapshot ()) else None
   in
+  let vtele =
+    Obs.enabled obs && Fmindex.Packed_text.Telemetry.is_enabled ()
+  in
+  let vtele_before =
+    if vtele then Some (Fmindex.Packed_text.Telemetry.snapshot ()) else None
+  in
   let hits =
     Obs.span obs "query"
       ~args:
@@ -141,10 +165,14 @@ let run_validated t (q : Query.t) ~obs ~t0 ~pattern =
           | S_tree -> S_tree.search ~use_delta:true ~stats ~obs fm ~pattern ~k
           | S_tree_no_delta ->
               S_tree.search ~use_delta:false ~stats ~obs fm ~pattern ~k
-          | Hybrid -> Hybrid.search ~stats fm ~text:(text t) ~pattern ~k
+          | Hybrid ->
+              Hybrid.search ~stats ~ptext:(packed_text t) fm ~text:(text t)
+                ~pattern ~k
           | Cole -> Cole.search ~stats (suffix_tree t) ~pattern ~k
-          | Amir -> Amir.search ~stats ~pattern ~k (text t)
-          | Kangaroo -> Stringmatch.Kangaroo.search ~pattern ~text:(text t) ~k
+          | Amir -> Amir.search ~stats ~ptext:(packed_text t) ~pattern ~k (text t)
+          | Kangaroo ->
+              Stringmatch.Kangaroo.search ~ptext:(packed_text t) ~pattern ~k
+                (text t)
           | Naive -> Stringmatch.Hamming.search ~pattern ~text:(text t) ~k)
   in
   let t2 = Obs.Clock.now_ns () in
@@ -157,7 +185,15 @@ let run_validated t (q : Query.t) ~obs ~t0 ~pattern =
             (Fmindex.Fm_index.Telemetry.diff ~since
                (Fmindex.Fm_index.Telemetry.snapshot ()))
     in
-    flush_counters obs stats fm_delta;
+    let verify_delta =
+      match vtele_before with
+      | None -> None
+      | Some since ->
+          Some
+            (Fmindex.Packed_text.Telemetry.diff ~since
+               (Fmindex.Packed_text.Telemetry.snapshot ()))
+    in
+    flush_counters obs stats fm_delta verify_delta;
     Obs.incr obs "query.count";
     Obs.add obs "query.hits" (List.length hits)
   end;

@@ -45,6 +45,18 @@ val suffix_tree : index -> Suffix.Suffix_tree.t
 (** The suffix tree of the forward text, built on first use (domain-safe
     memo). *)
 
+val packed_text : index -> Fmindex.Packed_text.t
+(** The forward text 2-bit packed — what the word-parallel verifiers
+    ({!Fmindex.Packed_text.hamming_le}) run against.  Derived on first
+    use by reversing the FM component's packed payload (n/4 bytes, no
+    string round-trip) and cached behind a domain-safe memo. *)
+
+val flush_verify : Obs.t -> Fmindex.Packed_text.Telemetry.counters -> unit
+(** Record a verification-telemetry delta as [verify.calls] /
+    [verify.words] / [verify.early_exits] counters.  Used by {!run}
+    around each query and by the mapper around its hit re-checking, so
+    both report under the same names. *)
+
 (** {1 Queries and responses}
 
     The primary entry point is {!run}: a {!Query.t} names the engine,

@@ -48,6 +48,10 @@ type target = {
   tgt_prepare : Kmismatch.engine -> unit;
       (** force shared derived state before fan-out *)
   tgt_run : Kmismatch.Query.t -> (Kmismatch.Response.t, Kmm_error.t) result;
+  tgt_packed : unit -> Fmindex.Packed_text.t option;
+      (** the packed text hits can be re-checked against, when the
+          target has a single coordinate space ([None] for sharded
+          corpora, whose global positions span shard boundaries) *)
 }
 
 let target_of_index index =
@@ -60,17 +64,21 @@ let target_of_index index =
         Printf.sprintf "read of %d bp exceeds the %d bp reference" m len);
     tgt_prepare =
       (fun engine ->
-        (* The memos under the text and the suffix tree are domain-safe,
-           but forcing the one the engine needs before fan-out keeps the
-           workers from serializing on its first force. *)
-        match engine with
+        (* The memos under the text, the suffix tree and the packed
+           forward text are domain-safe, but forcing the ones the run
+           needs before fan-out keeps the workers from serializing on
+           the first force. *)
+        (match engine with
         | Kmismatch.Cole -> ignore (Kmismatch.suffix_tree index)
         | Kmismatch.Hybrid | Kmismatch.Amir | Kmismatch.Kangaroo
         | Kmismatch.Naive ->
             ignore (Kmismatch.text index)
         | Kmismatch.M_tree | Kmismatch.S_tree | Kmismatch.S_tree_no_delta ->
             ());
+        (* Hit re-checking runs the packed kernel for every engine. *)
+        ignore (Kmismatch.packed_text index));
     tgt_run = (fun q -> Kmismatch.try_run index q);
+    tgt_packed = (fun () -> Some (Kmismatch.packed_text index));
   }
 
 (* Classify a read the engines cannot process, so one bad record degrades
@@ -101,6 +109,45 @@ let validate_read ~target sequence =
    read's own skip reason, never as a batch abort. *)
 exception Skip of Kmm_error.t
 
+(* Re-check an engine's hits against the packed text: every reported
+   (position, distance) must agree with the word-parallel kernel.  An
+   engine answer the kernel refutes is a bug, and it costs exactly this
+   read — a typed [Internal] skip, never a batch abort.  One kernel
+   call per hit (limit = the claimed distance, so refutation
+   early-exits); re-checking effort lands in the same [verify.*]
+   counters as the engines' own verification. *)
+let recheck ~obs pt ~pattern hits =
+  match hits with
+  | [] -> ()
+  | _ ->
+      let vtele =
+        Obs.enabled obs && Fmindex.Packed_text.Telemetry.is_enabled ()
+      in
+      let before =
+        if vtele then Some (Fmindex.Packed_text.Telemetry.snapshot ())
+        else None
+      in
+      let normalized = String.map Dna.Alphabet.normalize pattern in
+      let pp = Fmindex.Packed_text.Pattern.make normalized in
+      List.iter
+        (fun (pos, distance) ->
+          if Fmindex.Packed_text.hamming ~limit:distance pt pp ~pos <> distance
+          then
+            raise
+              (Skip
+                 (Kmm_error.Internal
+                    (Printf.sprintf
+                       "hit re-check: engine hit (pos %d, distance %d) \
+                        disagrees with packed verification"
+                       pos distance))))
+        hits;
+      match before with
+      | None -> ()
+      | Some since ->
+          Kmismatch.flush_verify obs
+            (Fmindex.Packed_text.Telemetry.diff ~since
+               (Fmindex.Packed_text.Telemetry.snapshot ()))
+
 (* Map one read: all forward hits, then all reverse-complement hits, in
    the order the engine reports them.  Pure with respect to the target,
    so reads can be fanned out across domains freely. *)
@@ -110,6 +157,9 @@ let map_one ~stats ~obs ~engine ~both_strands target ~k (read_id, sequence) =
     | Error e -> raise (Skip e)
     | Ok r ->
         Stats.merge ~into:stats r.Kmismatch.Response.stats;
+        (match target.tgt_packed () with
+        | Some pt -> recheck ~obs pt ~pattern r.Kmismatch.Response.hits
+        | None -> ());
         List.map
           (fun (pos, distance) -> { read_id; pos; strand; distance })
           r.Kmismatch.Response.hits

@@ -83,6 +83,13 @@ type target = {
       (** answer one query with hits in global coordinates; must be safe
           to call from any domain.  An [Error] skips the read (typed),
           never aborts the batch. *)
+  tgt_packed : unit -> Fmindex.Packed_text.t option;
+      (** the packed text in the target's own coordinate space, if it
+          has one: every hit is then re-checked with the word-parallel
+          kernel ({!Fmindex.Packed_text.hamming}), and a refuted hit
+          skips its read with a typed [Internal] error.  [None] (e.g. a
+          sharded corpus, whose global positions span shard boundaries)
+          disables re-checking. *)
 }
 
 val target_of_index : Kmismatch.index -> target

@@ -43,7 +43,7 @@ let kangaroo_direct =
   {
     sub_name = "kangaroo-direct";
     run =
-      (fun _ c -> Some (Stringmatch.Kangaroo.search ~pattern:c.pattern ~text:c.text ~k:c.k));
+      (fun _ c -> Some (Stringmatch.Kangaroo.search ~pattern:c.pattern ~k:c.k c.text));
   }
 
 let shift_add =
@@ -140,9 +140,41 @@ let fm_v3_corruption =
         end);
   }
 
+(* The word-parallel verification kernel as its own subject: scan every
+   window of the packed forward text with [hamming_le] / [hamming],
+   covering all four lane phases, the ragged final byte and the
+   pre-packed pattern masks against the naive reference. *)
+let packed_verify =
+  {
+    sub_name = "packed-verify";
+    run =
+      (fun idx c ->
+        let m = String.length c.pattern in
+        let pt = Kmismatch.packed_text idx in
+        let n = Fmindex.Packed_text.length pt in
+        if m > n then Some []
+        else begin
+          let k = min c.k m in
+          let pp = Fmindex.Packed_text.Pattern.make c.pattern in
+          let acc = ref [] in
+          for pos = n - m downto 0 do
+            if Fmindex.Packed_text.hamming_le pt pp ~pos ~k then
+              acc := (pos, Fmindex.Packed_text.hamming pt pp ~pos) :: !acc
+          done;
+          Some !acc
+        end);
+  }
+
 let default_subjects () =
   List.map engine_subject Kmismatch.all_engines
-  @ [ kangaroo_direct; shift_add; fm_packed_find_all; fm_save_roundtrip; fm_v3_corruption ]
+  @ [
+      kangaroo_direct;
+      shift_add;
+      packed_verify;
+      fm_packed_find_all;
+      fm_save_roundtrip;
+      fm_v3_corruption;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Checking                                                            *)

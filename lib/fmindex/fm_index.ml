@@ -188,6 +188,7 @@ let build ?(occ_rate = 32) ?(sa_rate = 16) text =
 
 let length t = t.n
 let text t = Storage.Memo.force t.text
+let packed_text t = t.ptext
 let bwt t = String.init (Occ.length t.occ) (fun row -> Dna.Alphabet.of_code (Occ.get t.occ row))
 let whole t = (0, Occ.length t.occ)
 

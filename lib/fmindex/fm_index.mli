@@ -25,6 +25,11 @@ val text : t -> string
     domain-safe memo, so the call is O(n) once and O(1) after, from any
     number of domains. *)
 
+val packed_text : t -> Packed_text.t
+(** The indexed text in its native 2-bit packed form — shared with the
+    index (possibly an mmap'd view), never copied.  This is what the
+    word-parallel verifiers ({!Packed_text.hamming_le}) run against. *)
+
 val bwt : t -> string
 
 val whole : t -> interval

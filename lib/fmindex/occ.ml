@@ -17,16 +17,12 @@ let sigma = Dna.Alphabet.sigma
    which also makes zero-padding lanes harmless.  Accumulating the table
    over up to 16383 bytes (the largest possible in-block remainder)
    keeps every 16-bit field below 65536, so a block scan is one load and
-   one add per 4 bases with no carries and no allocation. *)
-let tbl =
-  Array.init 256 (fun byte ->
-      let acc = ref 0 in
-      for lane = 0 to 3 do
-        match (byte lsr (lane * 2)) land 3 with
-        | 0 -> ()
-        | d -> acc := !acc + (1 lsl ((d - 1) * 16))
-      done;
-      !acc)
+   one add per 4 bases with no carries and no allocation.
+
+   The table itself lives in Packed_text (the verification kernel
+   derives its per-byte mismatch table from it); this alias keeps the
+   scan kernels below unchanged. *)
+let tbl = Packed_text.lane_count_table
 
 (* tmask.(r) keeps only the first r lanes of a byte (r in 0..3). *)
 let tmask = [| 0x00; 0x03; 0x0f; 0x3f |]

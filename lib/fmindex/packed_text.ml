@@ -80,3 +80,255 @@ let of_bytes payload ~len =
   if String.length payload <> nbytes len then
     invalid_arg "Packed_text.of_bytes: payload size does not match length";
   of_storage (Storage.of_string payload) ~len
+
+let rev t =
+  let n = t.len in
+  init n (fun i -> unsafe_get t (n - 1 - i))
+
+(* ------------------------------------------------------------------ *)
+(* SWAR count tables                                                    *)
+
+(* lane_count_table.(byte) packs, in one int, the number of lanes of
+   [byte] equal to lane code 1 (bits 0..15), 2 (bits 16..31) and 3
+   (bits 32..47).  This is the Occ rank-scan table, hoisted here so the
+   rank kernel and the verification kernel share one definition; Occ
+   re-exports it.  Accumulating it over up to 16383 bytes keeps every
+   16-bit field below 65536 — one load and one add per 4 bases. *)
+let lane_count_table =
+  Array.init 256 (fun byte ->
+      let acc = ref 0 in
+      for lane = 0 to 3 do
+        match (byte lsr (lane * 2)) land 3 with
+        | 0 -> ()
+        | d -> acc := !acc + (1 lsl ((d - 1) * 16))
+      done;
+      !acc)
+
+(* mismatch_count_table.(byte) = number of non-zero 2-bit lanes of
+   [byte]: the per-byte Hamming weight of a XOR of two packed buffers.
+   Derived from [lane_count_table] (sum of its three fields) so the two
+   can never drift. *)
+let mismatch_count_table =
+  Array.map
+    (fun s -> (s land 0xffff) + ((s lsr 16) land 0xffff) + ((s lsr 32) land 0xffff))
+    lane_count_table
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                            *)
+
+(* Hot-path accounting for the verification kernel, mirroring
+   Fm_index.Telemetry: counters live in domain-local storage so
+   concurrent verifiers never contend and per-domain deltas merge to
+   the sequential totals.  Disabled (the default), each kernel call
+   pays one load-and-branch; [compiled = false] makes the hooks dead
+   code. *)
+module Telemetry = struct
+  type counters = {
+    mutable calls : int;  (* kernel invocations *)
+    mutable words : int;  (* 28-lane words XOR'd + reduced *)
+    mutable early_exits : int;  (* calls that stopped before the last word *)
+  }
+
+  let compiled = true
+  let flag = Atomic.make false
+  let set_enabled b = Atomic.set flag b
+  let is_enabled () = compiled && Atomic.get flag
+
+  let key =
+    Domain.DLS.new_key (fun () -> { calls = 0; words = 0; early_exits = 0 })
+
+  let cell () = Domain.DLS.get key
+
+  let snapshot () =
+    let c = cell () in
+    { calls = c.calls; words = c.words; early_exits = c.early_exits }
+
+  let diff ~since c =
+    {
+      calls = c.calls - since.calls;
+      words = c.words - since.words;
+      early_exits = c.early_exits - since.early_exits;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Word-parallel Hamming kernel                                         *)
+
+(* Geometry.  The kernel compares [word_lanes] = 28 lanes (7 packed
+   bytes, 56 bits) per step.  Why not 64 bits: the packed buffer is a
+   Bigarray of int8 — there is no unaligned wide load and no int8→int64
+   reinterpretation in the stdlib, and OCaml's native [int] is 63 bits
+   (Int64 boxes without flambda), so the widest branch-free word we can
+   assemble from byte loads and still SWAR-reduce in registers is 7
+   bytes.  At 56 bits per XOR this is still 28 bases per step versus 1
+   for the byte-at-a-time scan. *)
+
+let word_bytes = 7
+let word_lanes = 4 * word_bytes
+
+(* A pattern pre-packed at all four lane phases.  Phase [p] stores the
+   pattern shifted up by [p] lanes, so comparing against text position
+   [pos] (phase [pos land 3]) reduces to whole-byte XORs starting at
+   text byte [pos lsr 2] — no cross-byte bit shuffling at query time.
+   [masks] zero out the [p] leading padding lanes of the first word and
+   the trailing padding lanes of the last, so there is no separate
+   scalar tail: ragged edges are masked lanes (XOR result 0 = match),
+   and lane code 0 never counts as a mismatch by construction. *)
+module Pattern = struct
+  type phase = {
+    words : int array;  (* 7-byte little-endian groups of the shifted pattern *)
+    masks : int array;  (* same shape; 2-bit lanes kept = 0b11, padding = 0b00 *)
+    last_bytes : int;  (* payload bytes covered by the final word, 1..7 *)
+  }
+
+  type t = { m : int; phases : phase array }
+
+  let length t = t.m
+
+  let make_phase codes p =
+    let m = Array.length codes in
+    let nb = nbytes (p + m) in
+    let nw = (nb + word_bytes - 1) / word_bytes in
+    let pat = Bytes.make (nw * word_bytes) '\000' in
+    let msk = Bytes.make (nw * word_bytes) '\000' in
+    for i = 0 to m - 1 do
+      let lane = p + i in
+      let b = lane lsr 2 and off = (lane land 3) * 2 in
+      Bytes.unsafe_set pat b
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get pat b) lor (codes.(i) lsl off)));
+      Bytes.unsafe_set msk b
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get msk b) lor (3 lsl off)))
+    done;
+    let word_of bytes w =
+      let base = w * word_bytes in
+      let acc = ref 0 in
+      for j = word_bytes - 1 downto 0 do
+        acc := (!acc lsl 8) lor Char.code (Bytes.unsafe_get bytes (base + j))
+      done;
+      !acc
+    in
+    {
+      words = Array.init nw (word_of pat);
+      masks = Array.init nw (word_of msk);
+      last_bytes = nb - (word_bytes * (nw - 1));
+    }
+
+  let of_codes codes =
+    let m = Array.length codes in
+    if m = 0 then invalid_arg "Packed_text.Pattern: empty pattern";
+    Array.iter
+      (fun d ->
+        if d < 0 || d > 3 then
+          invalid_arg "Packed_text.Pattern: lane code out of range")
+      codes;
+    { m; phases = Array.init 4 (make_phase codes) }
+
+  let make s =
+    of_codes
+      (Array.init (String.length s) (fun i ->
+           match s.[i] with
+           | 'a' -> 0
+           | 'c' -> 1
+           | 'g' -> 2
+           | 't' -> 3
+           | c ->
+               invalid_arg
+                 (Printf.sprintf
+                    "Packed_text.Pattern.make: %C is not a lowercase base" c)))
+
+  let of_packed t ~pos ~len =
+    if len <= 0 || pos < 0 || pos + len > t.len then
+      invalid_arg "Packed_text.Pattern.of_packed: window out of range";
+    of_codes (Array.init len (fun i -> unsafe_get t (pos + i)))
+end
+
+(* Count the non-zero 2-bit lanes of a 56-bit word: fold each lane to
+   one bit (OR of its two bits, masked), then SWAR-popcount.  Every
+   4-bit partial sum is <= 4 and every byte sum <= 8, so the folds never
+   carry; the final multiply accumulates the 7 byte sums (total <= 28)
+   into bits 56..62, safely below the 63-bit native-int width. *)
+let[@inline] count_mismatch_word x =
+  let y = (x lor (x lsr 1)) land 0x55555555555555 in
+  let v = (y land 0x3333333333333333) + ((y lsr 2) land 0x3333333333333333) in
+  let v = (v + (v lsr 4)) land 0x0f0f0f0f0f0f0f0f in
+  (v * 0x0101010101010101) lsr 56
+
+(* Little-endian load of [word_bytes] packed bytes at [b].  All seven
+   loads are within the pattern's byte span except possibly in the last
+   word, which uses [load_tail]. *)
+let[@inline] load7 (data : Storage.t) b =
+  A1.unsafe_get data b
+  lor (A1.unsafe_get data (b + 1) lsl 8)
+  lor (A1.unsafe_get data (b + 2) lsl 16)
+  lor (A1.unsafe_get data (b + 3) lsl 24)
+  lor (A1.unsafe_get data (b + 4) lsl 32)
+  lor (A1.unsafe_get data (b + 5) lsl 40)
+  lor (A1.unsafe_get data (b + 6) lsl 48)
+
+(* Load only [count] (1..7) bytes at [b] — the final word of a window
+   may extend past the window's last covered byte, and for an mmap'd
+   buffer reading past the section is reading past the file. *)
+let[@inline] load_tail (data : Storage.t) b count =
+  let acc = ref 0 in
+  for j = count - 1 downto 0 do
+    acc := (!acc lsl 8) lor A1.unsafe_get data (b + j)
+  done;
+  !acc
+
+let[@inline] telemetry_flush ~words ~early =
+  if Telemetry.is_enabled () then begin
+    let c = Telemetry.cell () in
+    c.Telemetry.calls <- c.Telemetry.calls + 1;
+    c.Telemetry.words <- c.Telemetry.words + words;
+    if early then c.Telemetry.early_exits <- c.Telemetry.early_exits + 1
+  end
+
+(* The kernel.  Scans the window word by word, early-exiting as soon as
+   the running mismatch count exceeds [limit].  On early exit the
+   return value is some count > limit — meaningful only as "greater
+   than limit", not as the exact distance. *)
+let hamming ?(limit = max_int) t (pp : Pattern.t) ~pos =
+  let m = pp.Pattern.m in
+  if pos < 0 || pos + m > t.len then
+    invalid_arg "Packed_text.hamming: window out of range";
+  let ph = Array.unsafe_get pp.Pattern.phases (pos land 3) in
+  let b0 = pos lsr 2 in
+  let words = ph.Pattern.words and masks = ph.Pattern.masks in
+  let nw = Array.length words in
+  let data = t.data in
+  let last = nw - 1 in
+  let rec go w acc =
+    if w = last then begin
+      let tw = load_tail data (b0 + (word_bytes * w)) ph.Pattern.last_bytes in
+      let acc =
+        acc
+        + count_mismatch_word
+            ((tw lxor Array.unsafe_get words w) land Array.unsafe_get masks w)
+      in
+      telemetry_flush ~words:nw ~early:false;
+      acc
+    end
+    else begin
+      let tw = load7 data (b0 + (word_bytes * w)) in
+      let acc =
+        acc
+        + count_mismatch_word
+            ((tw lxor Array.unsafe_get words w) land Array.unsafe_get masks w)
+      in
+      if acc > limit then begin
+        telemetry_flush ~words:(w + 1) ~early:true;
+        acc
+      end
+      else go (w + 1) acc
+    end
+  in
+  go 0 0
+
+let hamming_le t pp ~pos ~k =
+  if k < 0 then false
+  else if k >= Pattern.length pp then (
+    (* Degenerate budget: every window qualifies; still bounds-check. *)
+    if pos < 0 || pos + Pattern.length pp > t.len then
+      invalid_arg "Packed_text.hamming: window out of range";
+    true)
+  else hamming ~limit:k t pp ~pos <= k

@@ -64,3 +64,95 @@ val base_of_code : int -> char
 
 val code_of_base : char -> int option
 (** Lane code of a base character; [None] for non-ACGT (case folded). *)
+
+val rev : t -> t
+(** [rev t] is a fresh packed text holding the lanes of [t] in reverse
+    order — e.g. the forward genome recovered from an index built over
+    the reversed text, without materializing either as a string. *)
+
+(** {1 SWAR count tables}
+
+    Shared 256-entry per-byte lookup tables for byte- and word-parallel
+    lane counting.  [Occ] aliases {!lane_count_table} as its rank scan
+    table, so the rank kernel and the verification kernel can never
+    drift. *)
+
+val lane_count_table : int array
+(** [lane_count_table.(byte)] packs the number of lanes of [byte] equal
+    to lane code 1 (bits 0..15), 2 (bits 16..31) and 3 (bits 32..47).
+    The count of code 0 is derivable as [lanes - c1 - c2 - c3], which
+    makes zero-padding lanes harmless. *)
+
+val mismatch_count_table : int array
+(** [mismatch_count_table.(byte)] is the number of non-zero 2-bit lanes
+    of [byte] — the per-byte Hamming weight of a XOR of two packed
+    payloads.  Derived from {!lane_count_table}. *)
+
+(** {1 Word-parallel Hamming verification}
+
+    The filter-and-verify hot path: compare a pre-packed pattern
+    against any window of the packed text 28 bases per word operation
+    (7-byte XOR + SWAR 2-bit-lane popcount), early-exiting once a
+    mismatch budget is blown.  See DESIGN.md "Word-parallel
+    verification". *)
+
+val word_lanes : int
+(** Lanes compared per kernel word operation (28: 7 packed bytes — the
+    widest branch-free load+reduce expressible over a byte Bigarray
+    within OCaml's 63-bit native [int]). *)
+
+type packed := t
+
+(** A pattern pre-packed at all four lane phases.  Phase [p] stores the
+    pattern shifted up by [p] lanes with first/last-word padding masks,
+    so verifying against text position [pos] reduces to whole-byte
+    loads starting at byte [pos / 4] — alignment-free and mmap-safe. *)
+module Pattern : sig
+  type t
+
+  val make : string -> t
+  (** Pack a lowercase [acgt] pattern.  Raises [Invalid_argument] on an
+      empty string or any other character. *)
+
+  val of_codes : int array -> t
+  (** Pack an array of lane codes 0..3.  Raises [Invalid_argument] on
+      an empty array or out-of-range code. *)
+
+  val of_packed : packed -> pos:int -> len:int -> t
+  (** [of_packed t ~pos ~len] packs the window [pos, pos+len) of an
+      existing packed text.  Raises [Invalid_argument] when the window
+      is out of range or empty. *)
+
+  val length : t -> int
+end
+
+val hamming : ?limit:int -> t -> Pattern.t -> pos:int -> int
+(** [hamming ?limit t p ~pos] is the Hamming distance between pattern
+    [p] and the text window starting at lane [pos], scanning word by
+    word and stopping as soon as the running count exceeds [limit]
+    (default: no limit).  After an early exit the result is only
+    meaningful as "greater than [limit]" — it counts the scanned prefix
+    only.  Raises [Invalid_argument] when the window does not fit. *)
+
+val hamming_le : t -> Pattern.t -> pos:int -> k:int -> bool
+(** [hamming_le t p ~pos ~k] is [hamming t p ~pos <= k], with the
+    early-exit limit set to [k].  [k < 0] is [false]; [k >= length p]
+    is [true].  Raises [Invalid_argument] when the window does not
+    fit. *)
+
+(** Domain-local counters for the verification kernel, mirroring
+    {!Fm_index.Telemetry}: armed globally by the CLI, read as
+    snapshot/diff pairs around a unit of work, merged across domains by
+    summing. *)
+module Telemetry : sig
+  type counters = {
+    mutable calls : int;  (** kernel invocations *)
+    mutable words : int;  (** 28-lane words XOR'd and reduced *)
+    mutable early_exits : int;  (** calls stopped before the last word *)  }
+
+  val compiled : bool
+  val set_enabled : bool -> unit
+  val is_enabled : unit -> bool
+  val snapshot : unit -> counters
+  val diff : since:counters -> counters -> counters
+end

@@ -1,10 +1,12 @@
-let distance_at ~pattern ~text ~pos =
+let distance_at ?(limit = max_int) ~pattern ~text pos =
   let m = String.length pattern in
   if pos < 0 || pos + m > String.length text then
     invalid_arg "Hamming.distance_at: window out of range";
   let d = ref 0 in
-  for j = 0 to m - 1 do
-    if pattern.[j] <> text.[pos + j] then incr d
+  let j = ref 0 in
+  while !j < m && !d <= limit do
+    if pattern.[!j] <> text.[pos + !j] then incr d;
+    incr j
   done;
   !d
 

@@ -20,8 +20,23 @@ val distance_at : t -> pos:int -> k:int -> int option
 (** [Some d] with [d <= k] if the window at [pos] has at most [k]
     mismatches, [None] otherwise.  O(k) per call. *)
 
-val search : pattern:string -> text:string -> k:int -> (int * int) list
-(** All [(position, mismatches)] with at most [k] mismatches, ascending.
-    O(kn) after O(m + n) preprocessing. *)
+val search :
+  ?ptext:Fmindex.Packed_text.t ->
+  pattern:string ->
+  k:int ->
+  string ->
+  (int * int) list
+(** [search ~pattern ~k text] is every [(position, mismatches)] with at
+    most [k] mismatches, ascending.  O(kn) after O(m + n)
+    preprocessing.  ([text] is positional so [?ptext] stays
+    erasable.)
+
+    The result is always the LCE path's; the options below only change
+    its cost.  With [?ptext] (the packed form of [text]) and a
+    lowercase-[acgt] pattern, windows are verified by the word-parallel
+    kernel ({!Fmindex.Packed_text.hamming}) whenever the cost model
+    predicts it beats LCE preprocessing; without it, patterns short
+    enough that early-exit scans beat building the suffix structures
+    fall back to scalar scans ({!Hamming.distance_at} with [?limit]). *)
 
 val positions : pattern:string -> text:string -> k:int -> int list

@@ -135,7 +135,7 @@ let prop_kangaroo_equals_hamming =
         (int_range 0 6))
     (fun (text, pattern, k) ->
       String.length pattern > String.length text
-      || Kangaroo.search ~pattern ~text ~k = naive_pairs ~pattern ~text ~k)
+      || Kangaroo.search ~pattern ~k text = naive_pairs ~pattern ~text ~k)
 
 let test_kangaroo_bounds () =
   let t = Kangaroo.make ~pattern:"acg" ~text:"acgtacgt" in
@@ -147,7 +147,7 @@ let test_negative_k_rejected () =
   (match Hamming.search ~pattern:"a" ~text:"aa" ~k:(-1) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "hamming should reject");
-  match Kangaroo.search ~pattern:"a" ~text:"aa" ~k:(-1) with
+  match Kangaroo.search ~pattern:"a" ~k:(-1) "aa" with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "kangaroo should reject"
 
