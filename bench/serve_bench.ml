@@ -1,5 +1,7 @@
 (* Load generator for the kmm serve daemon: throughput and latency
-   quantiles versus concurrent connection count.
+   quantiles versus concurrent connection count, plus an overload round
+   that offers roughly twice the daemon's capacity against a small
+   admission queue and records the shed rate.
 
    The server runs in-process on its own threads and Work_pool domains;
    client threads connect through the real Unix socket and speak the
@@ -8,13 +10,17 @@
    encoding) is on the measured path.  Per-request latencies land in
    per-client [Obs.Histogram]s merged exactly (the PR 5 mergeable
    histograms), so p50/p99 come from the same machinery the daemon's
-   own [serve.request_ns] metric uses.
+   own [serve.request_ns] metric uses — and they cover {e accepted}
+   queries only, so a shed (which costs no search work) cannot flatter
+   the latency columns.
 
-   Correctness is never taken on faith: every query's hits, as decoded
-   from the wire, are compared byte-for-byte (via
+   Correctness is never taken on faith: every accepted query's hits, as
+   decoded from the wire, are compared byte-for-byte (via
    [Protocol.render_hits]) against a sequential [Kmismatch.run] of the
-   same stream, at every connection count.  A concurrency bug cannot
-   hide behind a throughput number.
+   same stream, at every connection count.  Shed and timed-out queries
+   are excluded from the comparison (they carry no hits by design) but
+   are counted per row.  A concurrency bug cannot hide behind a
+   throughput number.
 
    One JSON record per run is appended to --out (default
    BENCH_serve.json). *)
@@ -48,19 +54,28 @@ let socket_path () =
 type row = {
   connections : int;
   qps : float;
-  p50_us : float;
-  p99_us : float;
-  mean_us : float;
-  identical : bool;
+  p50_us : float;  (** over accepted queries only *)
+  p99_us : float;  (** over accepted queries only *)
+  mean_us : float;  (** over accepted queries only *)
+  accepted : int;
+  shed : int;  (** typed Overloaded replies (code 10) *)
+  timeouts : int;  (** typed Timeout replies (code 9) *)
+  dropped : int;  (** connections lost mid-stream (lane abandoned) *)
+  identical : bool;  (** accepted hits vs the sequential reference *)
 }
 
 (* Drive [queries] through [c] connections (query i goes to client
-   i mod c) and return the measured row plus the rendered hits. *)
+   i mod c) and return the measured row plus, per query, the rendered
+   hits and whether it was accepted. *)
 let drive ~path ~k ~queries ~c =
   let nq = Array.length queries in
   let rendered = Array.make nq "" in
+  let got = Array.make nq false in
   let histograms = Array.init c (fun _ -> Obs.Histogram.create ()) in
   let failure = Atomic.make None in
+  let shed = Atomic.make 0 in
+  let timeouts = Atomic.make 0 in
+  let dropped = Atomic.make 0 in
   let client j () =
     match Client.connect path with
     | exception e -> Atomic.set failure (Some (Printexc.to_string e))
@@ -70,17 +85,27 @@ let drive ~path ~k ~queries ~c =
           (fun () ->
             let h = histograms.(j) in
             let i = ref j in
-            while !i < nq && Atomic.get failure = None do
+            let live = ref true in
+            while !live && !i < nq && Atomic.get failure = None do
               let t0 = Obs.Clock.now_ns () in
               (match Client.query conn ~pattern:queries.(!i) ~k () with
               | Ok (Protocol.Hits { hits; _ }) ->
                   Obs.Histogram.record h (Obs.Clock.now_ns () - t0);
-                  rendered.(!i) <- Protocol.render_hits hits
+                  rendered.(!i) <- Protocol.render_hits hits;
+                  got.(!i) <- true
+              | Ok (Protocol.Error_reply { code = 10; _ }) -> Atomic.incr shed
+              | Ok (Protocol.Error_reply { code = 9; _ }) ->
+                  Atomic.incr timeouts
               | Ok (Protocol.Error_reply { message; _ }) ->
                   Atomic.set failure (Some ("server error: " ^ message))
               | Ok (Protocol.Ok_obj _) ->
                   Atomic.set failure (Some "unexpected reply shape")
-              | Error m -> Atomic.set failure (Some m));
+              | Error (Kmm_error.Io _) ->
+                  (* Connection gone (e.g. dropped as stalled): the rest
+                     of this lane is unreachable — count it and stop. *)
+                  Atomic.incr dropped;
+                  live := false
+              | Error e -> Atomic.set failure (Some (Kmm_error.to_string e)));
               i := !i + c
             done)
   in
@@ -93,6 +118,7 @@ let drive ~path ~k ~queries ~c =
   | None -> ());
   let merged = Obs.Histogram.create () in
   Array.iter (fun h -> Obs.Histogram.merge ~into:merged h) histograms;
+  let accepted = Array.fold_left (fun n g -> if g then n + 1 else n) 0 got in
   let us ns = float_of_int ns /. 1e3 in
   ( {
       connections = c;
@@ -100,11 +126,16 @@ let drive ~path ~k ~queries ~c =
       p50_us = us (Obs.Histogram.quantile merged 0.5);
       p99_us = us (Obs.Histogram.quantile merged 0.99);
       mean_us = Obs.Histogram.mean merged /. 1e3;
+      accepted;
+      shed = Atomic.get shed;
+      timeouts = Atomic.get timeouts;
+      dropped = Atomic.get dropped;
       identical = false (* filled by the caller against the reference *);
     },
-    rendered )
+    rendered,
+    got )
 
-let run_campaign ~idx ~queries ~k ~connections ~jobs ~batch_max =
+let run_campaign ~idx ~queries ~k ~connections ~jobs ~batch_max ?max_queue () =
   (* Sequential ground truth for the byte-identity column. *)
   let reference =
     Array.map
@@ -116,11 +147,13 @@ let run_campaign ~idx ~queries ~k ~connections ~jobs ~batch_max =
       queries
   in
   let path = socket_path () in
+  let base = Kmm_server.Server.default_config ~socket_path:path in
   let cfg =
     {
-      (Kmm_server.Server.default_config ~socket_path:path) with
+      base with
       domains = jobs;
       batch_max;
+      max_queue = (match max_queue with Some q -> q | None -> base.max_queue);
     }
   in
   let server = Kmm_server.Server.start cfg (Core.Corpus.mono idx) in
@@ -129,10 +162,33 @@ let run_campaign ~idx ~queries ~k ~connections ~jobs ~batch_max =
     (fun () ->
       List.map
         (fun c ->
-          let row, rendered = drive ~path ~k ~queries ~c in
-          let identical = rendered = reference in
-          { row with identical })
+          let row, rendered, got = drive ~path ~k ~queries ~c in
+          let identical = ref true in
+          Array.iteri
+            (fun i r -> if got.(i) && r <> reference.(i) then identical := false)
+            rendered;
+          { row with identical = !identical })
         connections)
+
+let print_rows rows =
+  Printf.printf "  %-12s %10s %10s %10s %10s %6s %6s %5s %5s %10s\n" "connections"
+    "qps" "p50 us" "p99 us" "mean us" "accept" "shed" "tout" "drop" "identical";
+  Printf.printf "  %s\n" (String.make 92 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "  %-12d %10.0f %10.1f %10.1f %10.1f %6d %6d %5d %5d %10s\n"
+        r.connections r.qps r.p50_us r.p99_us r.mean_us r.accepted r.shed
+        r.timeouts r.dropped
+        (if r.identical then "yes" else "NO(BUG)"))
+    rows
+
+let row_json r =
+  Printf.sprintf
+    "{\"connections\":%d,\"qps\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,\
+     \"mean_us\":%.1f,\"accepted\":%d,\"shed\":%d,\"timeouts\":%d,\
+     \"dropped\":%d,\"identical\":%b}"
+    r.connections r.qps r.p50_us r.p99_us r.mean_us r.accepted r.shed
+    r.timeouts r.dropped r.identical
 
 let run ?(obs = Obs.noop) ?(out = "BENCH_serve.json") ?(size = 200_000)
     ?(seed = 42) ?(connections = [ 1; 2; 4; 8 ]) ?(queries = 2_000) ?(jobs = 0)
@@ -150,16 +206,11 @@ let run ?(obs = Obs.noop) ?(out = "BENCH_serve.json") ?(size = 200_000)
     (if jobs = 1 then "" else "s");
   let rows =
     Obs.span obs "bench.serve" (fun () ->
-        run_campaign ~idx ~queries:qs ~k ~connections ~jobs ~batch_max:64)
+        run_campaign ~idx ~queries:qs ~k ~connections ~jobs ~batch_max:64 ())
   in
-  Printf.printf "  %-12s %10s %10s %10s %10s %10s\n" "connections" "qps" "p50 us"
-    "p99 us" "mean us" "identical";
-  Printf.printf "  %s\n" (String.make 66 '-');
+  print_rows rows;
   List.iter
     (fun r ->
-      Printf.printf "  %-12d %10.0f %10.1f %10.1f %10.1f %10s\n" r.connections r.qps
-        r.p50_us r.p99_us r.mean_us
-        (if r.identical then "yes" else "NO(BUG)");
       Obs.record obs
         (Printf.sprintf "bench.serve.c%d.p99_us" r.connections)
         (int_of_float r.p99_us);
@@ -175,19 +226,38 @@ let run ?(obs = Obs.noop) ?(out = "BENCH_serve.json") ?(size = 200_000)
              "serve bench: concurrent hits diverge from sequential run at %d connections"
              r.connections))
     rows;
+  (* Overload round: a deliberately small daemon (capacity = max_queue
+     slots + the pool's in-flight batch, ~8 concurrent) is offered ~2x
+     that many closed-loop connections.  The point of the row is that
+     the shed rate absorbs the excess while p99 over the *accepted*
+     queries stays bounded — the queue can never grow past max_queue, so
+     accepted latency is capped by queue depth, not by offered load. *)
+  let over_queue = 6 and over_jobs = 2 and over_conns = 16 in
+  Printf.printf "\n  -- overload: %d connections vs max_queue=%d, %d domains --\n"
+    over_conns over_queue over_jobs;
+  let over_rows =
+    Obs.span obs "bench.serve.overload" (fun () ->
+        run_campaign ~idx ~queries:qs ~k ~connections:[ over_conns ]
+          ~jobs:over_jobs ~batch_max:2 ~max_queue:over_queue ())
+  in
+  print_rows over_rows;
+  let over = List.hd over_rows in
+  let total = Array.length qs - over.dropped in
+  note "shed rate %.1f%% (%d of %d offered), accepted p99 %.1f us"
+    (100. *. float_of_int over.shed /. float_of_int (max 1 total))
+    over.shed total over.p99_us;
+  if not over.identical then
+    failwith "serve bench: accepted hits diverge under overload";
+  Obs.record obs "bench.serve.overload.shed" over.shed;
+  Obs.record obs "bench.serve.overload.p99_us" (int_of_float over.p99_us);
   let json =
     Printf.sprintf
       "{\"bench\":\"serve\",\"meta\":%s,\"size\":%d,\"seed\":%d,\"queries\":%d,\
-       \"k\":%d,\"jobs\":%d,\"results\":[%s]}"
+       \"k\":%d,\"jobs\":%d,\"results\":[%s],\"overload\":{\"max_queue\":%d,\
+       \"jobs\":%d,\"row\":%s}}"
       (Bench_meta.to_json ()) size seed queries k jobs
-      (String.concat ","
-         (List.map
-            (fun r ->
-              Printf.sprintf
-                "{\"connections\":%d,\"qps\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,\
-                 \"mean_us\":%.1f,\"identical\":%b}"
-                r.connections r.qps r.p50_us r.p99_us r.mean_us r.identical)
-            rows))
+      (String.concat "," (List.map row_json rows))
+      over_queue over_jobs (row_json over)
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 out in
   output_string oc (json ^ "\n");
@@ -203,9 +273,11 @@ let smoke ?(size = 20_000) ?(seed = 11) ?(queries = 80) () =
   let text = Dna.Sequence.to_string (Dna.Sequence.random ~state:st size) in
   let idx = Core.Kmismatch.build_index text in
   let qs = make_queries ~st ~text ~count:queries in
-  let rows = run_campaign ~idx ~queries:qs ~k:2 ~connections:[ 2 ] ~jobs:2 ~batch_max:8 in
+  let rows =
+    run_campaign ~idx ~queries:qs ~k:2 ~connections:[ 2 ] ~jobs:2 ~batch_max:8 ()
+  in
   List.iter
     (fun r ->
-      if not r.identical then
+      if (not r.identical) || r.accepted <> queries then
         failwith "serve smoke: concurrent hits diverge from sequential run")
     rows

@@ -699,8 +699,8 @@ let bench_cmd =
 (* --- serve ----------------------------------------------------------- *)
 
 let serve_cmd =
-  let run genome index_file mmap socket jobs batch_max max_pattern max_k
-      max_hits max_frame quiet trace metrics_out =
+  let run genome index_file mmap socket jobs batch_max max_queue send_timeout
+      max_pattern max_k max_hits max_frame quiet trace metrics_out =
     if jobs < 1 then failwith "--jobs must be >= 1";
     let corpus = obtain_corpus ~mmap ~genome ~index_file in
     let limits =
@@ -711,6 +711,8 @@ let serve_cmd =
         (Kmm_server.Server.default_config ~socket_path:socket) with
         domains = jobs;
         batch_max;
+        max_queue;
+        send_timeout;
         limits;
         trace = trace <> None;
         log = (if quiet then ignore else fun line -> Format.eprintf "kmm serve: %s@." line);
@@ -741,6 +743,24 @@ let serve_cmd =
       value & opt int 64
       & info [ "batch-max" ] ~docv:"N"
           ~doc:"Most queued queries dispatched onto the pool as one batch.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Bound on the admission queue; beyond it queries are shed \
+             immediately with a typed \"server overloaded\" frame (code 10) \
+             instead of growing the queue without limit.")
+  in
+  let send_timeout =
+    Arg.(
+      value & opt float 10.0
+      & info [ "send-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Whole-response send budget: a client that stops reading and \
+             fails to drain a response within $(docv) seconds is dropped \
+             (its connection only — the daemon keeps serving).")
   in
   let d = Kmm_server.Protocol.default_limits in
   let max_pattern =
@@ -784,84 +804,99 @@ let serve_cmd =
     Term.(
       ret
         (const run $ genome_arg $ index_arg $ mmap_arg $ socket $ jobs
-       $ batch_max $ max_pattern $ max_k $ max_hits $ max_frame $ quiet
-       $ trace_arg $ metrics_arg))
+       $ batch_max $ max_queue $ send_timeout $ max_pattern $ max_k $ max_hits
+       $ max_frame $ quiet $ trace_arg $ metrics_arg))
 
 (* --- client ----------------------------------------------------------- *)
 
 let client_cmd =
-  let run socket pattern k engine ping metrics info shutdown verbose =
+  let run socket pattern k engine ping metrics info shutdown timeout retries
+      deadline verbose =
     let module C = Kmm_server.Server.Client in
     let module P = Kmm_server.Protocol in
-    let conn =
-      match C.connect socket with
-      | c -> c
-      | exception Unix.Unix_error _ ->
-          fail_typed ~path:socket
-            (Kmm_error.Io (Failure "cannot connect (is kmm serve running?)"))
+    (* One full connect+request round.  With --retries > 0 the whole
+       round — reconnect included — is retried on transient errors only
+       (connection-level Io, typed Overloaded sheds), with capped
+       jittered exponential backoff; Bad_input and Timeout never
+       retry. *)
+    let attempt op () =
+      match C.try_connect ?timeout socket with
+      | Error e -> Error e
+      | Ok conn ->
+          Fun.protect
+            ~finally:(fun () -> C.close conn)
+            (fun () ->
+              match op conn with
+              | Ok (P.Error_reply { code = 10; message; _ }) ->
+                  (* A server-side shed becomes a typed Overloaded value
+                     so the retry loop treats it exactly like a refused
+                     connect. *)
+                  Error (Kmm_error.Overloaded message)
+              | r -> r)
     in
-    Fun.protect
-      ~finally:(fun () -> C.close conn)
-      (fun () ->
-        let rpc reply =
-          match reply with
-          | Error m -> fail_typed (Kmm_error.Io (Failure m))
-          | Ok (P.Error_reply { code; message; _ }) ->
-              Format.eprintf "kmm client: %s@." message;
-              exit code
-          | Ok r -> r
-        in
-        let field name fields =
-          match List.assoc_opt name fields with
-          | Some (P.Json.String s) -> s
-          | _ -> ""
-        in
-        if ping then begin
-          let t0 = Unix.gettimeofday () in
-          match rpc (C.command conn "ping") with
-          | P.Ok_obj _ ->
-              Printf.printf "pong (%.2f ms)\n" ((Unix.gettimeofday () -. t0) *. 1e3);
+    let rpc op =
+      let result =
+        if retries > 0 then C.with_retry ~attempts:(retries + 1) (attempt op)
+        else attempt op ()
+      in
+      match result with
+      | Error e -> fail_typed e
+      | Ok (P.Error_reply { code; message; _ }) ->
+          Format.eprintf "kmm client: %s@." message;
+          exit code
+      | Ok r -> r
+    in
+    let field name fields =
+      match List.assoc_opt name fields with
+      | Some (P.Json.String s) -> s
+      | _ -> ""
+    in
+    if ping then begin
+      let t0 = Unix.gettimeofday () in
+      match rpc (fun conn -> C.command conn "ping") with
+      | P.Ok_obj _ ->
+          Printf.printf "pong (%.2f ms)\n" ((Unix.gettimeofday () -. t0) *. 1e3);
+          `Ok ()
+      | _ -> `Error (false, "unexpected reply")
+    end
+    else if metrics then begin
+      match rpc (fun conn -> C.command conn "metrics") with
+      | P.Ok_obj { fields; _ } ->
+          print_string (field "metrics" fields);
+          `Ok ()
+      | _ -> `Error (false, "unexpected reply")
+    end
+    else if info then begin
+      match rpc (fun conn -> C.command conn "info") with
+      | P.Ok_obj { fields; _ } ->
+          print_endline (P.Json.to_string (P.Json.Obj fields));
+          `Ok ()
+      | _ -> `Error (false, "unexpected reply")
+    end
+    else if shutdown then begin
+      match rpc (fun conn -> C.command conn "shutdown") with
+      | P.Ok_obj _ ->
+          if verbose then Format.eprintf "daemon is draining@.";
+          `Ok ()
+      | _ -> `Error (false, "unexpected reply")
+    end
+    else
+      match pattern with
+      | None ->
+          `Error
+            (false, "PATTERN is required unless --ping/--metrics/--info/--shutdown")
+      | Some pattern -> (
+          match rpc (fun conn -> C.query conn ~engine ?deadline ~pattern ~k ()) with
+          | P.Hits { hits; truncated; _ } ->
+              List.iter (fun (pos, d) -> Printf.printf "%d\t%d\n" pos d) hits;
+              if truncated then
+                Format.eprintf "kmm client: hit list truncated by the server@.";
+              if verbose then
+                Format.eprintf "engine=%s hits=%d@."
+                  (Core.Kmismatch.engine_name engine)
+                  (List.length hits);
               `Ok ()
-          | _ -> `Error (false, "unexpected reply")
-        end
-        else if metrics then begin
-          match rpc (C.command conn "metrics") with
-          | P.Ok_obj { fields; _ } ->
-              print_string (field "metrics" fields);
-              `Ok ()
-          | _ -> `Error (false, "unexpected reply")
-        end
-        else if info then begin
-          match rpc (C.command conn "info") with
-          | P.Ok_obj { fields; _ } ->
-              print_endline (P.Json.to_string (P.Json.Obj fields));
-              `Ok ()
-          | _ -> `Error (false, "unexpected reply")
-        end
-        else if shutdown then begin
-          match rpc (C.command conn "shutdown") with
-          | P.Ok_obj _ ->
-              if verbose then Format.eprintf "daemon is draining@.";
-              `Ok ()
-          | _ -> `Error (false, "unexpected reply")
-        end
-        else
-          match pattern with
-          | None ->
-              `Error
-                (false, "PATTERN is required unless --ping/--metrics/--info/--shutdown")
-          | Some pattern -> (
-              match rpc (C.query conn ~engine ~pattern ~k ()) with
-              | P.Hits { hits; truncated; _ } ->
-                  List.iter (fun (pos, d) -> Printf.printf "%d\t%d\n" pos d) hits;
-                  if truncated then
-                    Format.eprintf "kmm client: hit list truncated by the server@.";
-                  if verbose then
-                    Format.eprintf "engine=%s hits=%d@."
-                      (Core.Kmismatch.engine_name engine)
-                      (List.length hits);
-                  `Ok ()
-              | _ -> `Error (false, "unexpected reply")))
+          | _ -> `Error (false, "unexpected reply"))
   in
   let socket =
     Arg.(
@@ -883,6 +918,37 @@ let client_cmd =
   let shutdown =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.")
   in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:
+            "Client-side I/O budget in seconds: bounds the connect and each \
+             reply read/send.  Expiry exits with the typed timeout code (9); \
+             without it the client blocks indefinitely.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry the whole request (reconnect included) up to $(docv) extra \
+             times on transient errors — connection refused/reset/closed and \
+             typed \"server overloaded\" replies — with capped jittered \
+             exponential backoff.  Bad input and timeouts never retry.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:
+            "Server-side compute budget in relative seconds (the wire \
+             \"deadline\" field): the daemon abandons the query once the \
+             budget is spent — queue wait included — and answers a typed \
+             timeout frame (code 9).  Independent of --timeout.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty stderr.") in
   Cmd.v
     (Cmd.info "client" ~doc:"Query a running kmm serve daemon"
@@ -892,12 +958,15 @@ let client_cmd =
            `P
              "Speaks the newline-JSON protocol of kmm serve.  On a server-side \
               error the daemon's typed error code becomes this process's exit \
-              code — the same contract as the offline commands.";
+              code — the same contract as the offline commands.  --timeout \
+              bounds client-side waiting, --deadline bounds server-side \
+              compute, and --retries adds backoff-and-retry on transient \
+              failures (never on bad input).";
          ])
     Term.(
       ret
         (const run $ socket $ pattern $ k $ engine $ ping $ metrics $ info_flag
-       $ shutdown $ verbose))
+       $ shutdown $ timeout $ retries $ deadline $ verbose))
 
 (* --- bwt ------------------------------------------------------------ *)
 

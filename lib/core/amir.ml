@@ -36,6 +36,7 @@ let search ?stats ?ptext ~pattern ~k text =
     let verify candidates =
       List.filter_map
         (fun pos ->
+          Deadline.poll ();
           let d = distance_within pos in
           if d <= k then Some (pos, d) else None)
         candidates

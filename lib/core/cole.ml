@@ -17,6 +17,7 @@ let search ?stats tree ~pattern ~k =
   (* [descend node off i q]: [off] characters of the edge into [node] are
      consumed, [i] pattern characters matched so far, [q] mismatches. *)
   let rec descend node off i q =
+    Deadline.poll ();
     if i = m then begin
       bump (fun s -> s.leaves <- s.leaves + 1);
       report node q

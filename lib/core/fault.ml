@@ -114,3 +114,89 @@ let corrupt_file plan path =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (corrupt_string plan image))
+
+(* --- socket faults -------------------------------------------------- *)
+
+module Socket = struct
+  type c = { fd : Unix.file_descr; buf : Buffer.t }
+
+  let connect path =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e);
+    { fd; buf = Buffer.create 256 }
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  let fd c = c.fd
+
+  let send c s =
+    let b = Bytes.unsafe_of_string s in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then
+        match Unix.write c.fd b off (n - off) with
+        | w -> go (off + w)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    in
+    go 0
+
+  let send_line c s = send c (s ^ "\n")
+
+  let dribble ?(chunk = 1) ?(delay = 0.002) c s =
+    if chunk < 1 then invalid_arg "Fault.Socket.dribble: chunk must be >= 1";
+    let n = String.length s in
+    let off = ref 0 in
+    while !off < n do
+      let len = min chunk (n - !off) in
+      send c (String.sub s !off len);
+      off := !off + len;
+      if !off < n && delay > 0. then
+        (try Unix.sleepf delay
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done
+
+  let send_partial c s ~len =
+    if len < 0 || len > String.length s then
+      invalid_arg "Fault.Socket.send_partial: len out of range";
+    send c (String.sub s 0 len)
+
+  (* A minimal line reader for asserting replies: enough for the chaos
+     tests, which must not depend on the server library's own client
+     (that would test the client with the client). *)
+  let recv_line ?(timeout = 10.) c =
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec extract () =
+      match String.index_opt (Buffer.contents c.buf) '\n' with
+      | Some i ->
+          let all = Buffer.contents c.buf in
+          let line = String.sub all 0 i in
+          Buffer.clear c.buf;
+          Buffer.add_string c.buf
+            (String.sub all (i + 1) (String.length all - i - 1));
+          Some line
+      | None -> fill ()
+    and fill () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then None
+      else
+        match Unix.select [ c.fd ] [] [] remaining with
+        | [], _, _ -> None
+        | _ -> (
+            let b = Bytes.create 8192 in
+            match Unix.read c.fd b 0 8192 with
+            | 0 -> None
+            | n ->
+                Buffer.add_subbytes c.buf b 0 n;
+                extract ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+            | exception
+                Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                None)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+    in
+    extract ()
+end

@@ -56,3 +56,44 @@ val corrupt_string : plan -> string -> string
 val corrupt_file : plan -> string -> unit
 (** Read a file, {!corrupt_string} it, write it back in place
     (deliberately non-atomically — this {e is} the vandal). *)
+
+(** Misbehaving-client primitives over an [AF_UNIX] socket — the network
+    counterpart of the file-sink plans above, driving the serve chaos
+    suite.  A {!Socket.c} is a deliberately rude peer: it can feed a
+    frame one byte at a time ({!Socket.dribble}), hang up in the middle
+    of one ({!Socket.send_partial} then {!Socket.close}), or — the
+    nastiest — send queries and simply never read the responses (just
+    don't call {!Socket.recv_line}), filling the daemon's socket buffer
+    until its send budget drops the connection.  Everything is blocking
+    and raw: no protocol smarts, no timeouts on sends, exactly what a
+    buggy or hostile client looks like from the server's side. *)
+module Socket : sig
+  type c
+
+  val connect : string -> c
+  (** Raises [Unix.Unix_error] if nothing is listening. *)
+
+  val close : c -> unit
+
+  val fd : c -> Unix.file_descr
+  (** The raw descriptor, for tests that want [shutdown] etc. *)
+
+  val send : c -> string -> unit
+  (** Write the whole string (blocking, EINTR-retrying). *)
+
+  val send_line : c -> string -> unit
+  (** [send] with the frame newline appended. *)
+
+  val dribble : ?chunk:int -> ?delay:float -> c -> string -> unit
+  (** Write [chunk]-byte (default 1) slices separated by [delay]
+      seconds (default 2 ms): a pathologically slow writer.  The server
+      must still assemble and answer the frame. *)
+
+  val send_partial : c -> string -> len:int -> unit
+  (** Write only the first [len] bytes — pair with {!close} for a
+      mid-frame disconnect. *)
+
+  val recv_line : ?timeout:float -> c -> string option
+  (** Next newline-terminated line (newline stripped), or [None] on
+      EOF/reset or after [timeout] seconds (default 10) without one. *)
+end

@@ -65,6 +65,7 @@ let search ?(use_delta = true) ?stats ?ptext fm ~text ~pattern ~k =
       end
     in
     let rec expand iv j q =
+      Deadline.poll ();
       let lo, hi = iv in
       if j = m then begin
         bump (fun s -> s.leaves <- s.leaves + 1);

@@ -63,10 +63,12 @@ module Query = struct
     k : int;
     config : M_tree.config option;
     obs : Obs.t;
+    deadline : Deadline.t;
   }
 
-  let make ?config ?(obs = Obs.noop) ~engine ~pattern ~k () =
-    { engine; pattern; k; config; obs }
+  let make ?config ?(obs = Obs.noop) ?(deadline = Deadline.none) ~engine
+      ~pattern ~k () =
+    { engine; pattern; k; config; obs; deadline }
 end
 
 module Response = struct
@@ -208,7 +210,26 @@ let try_run t (q : Query.t) =
   let t0 = Obs.Clock.now_ns () in
   match validate q with
   | Error e -> Error e
-  | Ok pattern -> Ok (run_validated t q ~obs:q.obs ~t0 ~pattern)
+  | Ok pattern ->
+      if Deadline.expired q.deadline then
+        (* Admission check: an already-expired budget is answered without
+           touching the index at all (the server relies on this to shed
+           queries that aged out in its queue). *)
+        Error (Kmm_error.Timeout "deadline expired before the search started")
+      else (
+        (* The engines poll [Deadline.poll] in their hot loops; install
+           the query's budget as the ambient deadline so those polls see
+           it without any signature change.  [Deadline.none] (the
+           default) makes every poll a compare-and-return. *)
+        match
+          Deadline.with_ambient q.deadline (fun () ->
+              run_validated t q ~obs:q.obs ~t0 ~pattern)
+        with
+        | r -> Ok r
+        | exception Deadline.Expired ->
+            Error
+              (Kmm_error.Timeout
+                 "deadline expired during the search; partial work discarded"))
 
 let run t q =
   match try_run t q with

@@ -75,18 +75,25 @@ module Query : sig
     obs : Obs.t;
         (** sink receiving the [query] span, [engine.*]/[fm.*] counters
             and engine-internal spans; {!Obs.noop} disables all of it *)
+    deadline : Deadline.t;
+        (** the query's compute budget as an absolute monotonic instant;
+            {!Deadline.none} (the default) runs to completion.  Enforced
+            cooperatively: the engines poll it in their hot loops, and
+            an expired query comes back from {!try_run} as
+            [Error (Timeout _)] with all partial work discarded. *)
   }
 
   val make :
     ?config:M_tree.config ->
     ?obs:Obs.t ->
+    ?deadline:Deadline.t ->
     engine:engine ->
     pattern:string ->
     k:int ->
     unit ->
     t
   (** Build a query.  [obs] defaults to {!Obs.noop}, [config] to the
-      engine's own default. *)
+      engine's own default, [deadline] to {!Deadline.none}. *)
 end
 
 module Response : sig
@@ -112,7 +119,15 @@ val try_run : index -> Query.t -> (Response.t, Kmm_error.t) result
     [Invalid_argument] that {!run} would raise) instead of an exception.
     This is the entry point for long-running callers — the [kmm serve]
     daemon and the CLI — that must answer a bad query, not crash on it.
-    A valid query behaves exactly as under {!run}. *)
+    A valid query behaves exactly as under {!run}.
+
+    The query's [deadline] is enforced here: a budget already expired on
+    entry is answered [Error (Timeout _)] without touching the index,
+    and one that expires mid-search (detected by the engines'
+    cooperative {!Deadline.poll} checkpoints, within
+    {!Deadline.poll_stride} hot-loop iterations) comes back as
+    [Error (Timeout _)] with the partial hit set discarded — a timed-out
+    query never returns a truncated answer. *)
 
 val run : index -> Query.t -> Response.t
 (** Execute one query.  The pattern is normalized (case); raises

@@ -127,6 +127,7 @@ let search ?(config = default_config) ?stats ?(obs = Obs.noop) fm ~pattern ~k =
       in
       (* Walk the subtree *below* [w]; [dmiss] includes [w] itself. *)
       let rec walk_children w dmiss =
+        Deadline.poll ();
         if w.depth = d_star then begin
           bump (fun s -> s.derived_leaves <- s.derived_leaves + 1);
           report w.interval dmiss
@@ -285,6 +286,7 @@ let search ?(config = default_config) ?stats ?(obs = Obs.noop) fm ~pattern ~k =
       node
 
     and expand node =
+      Deadline.poll ();
       node.open_ <- true;
       let any_ext = ref false in
       let any_light = ref false in
@@ -323,6 +325,7 @@ let search ?(config = default_config) ?stats ?(obs = Obs.noop) fm ~pattern ~k =
 
     (* Allocation-free S-tree exploration of a narrow subtree. *)
     and explore_light iv j q =
+      Deadline.poll ();
       bump (fun s -> s.nodes <- s.nodes + 1);
       if j = m then begin
         bump (fun s -> s.leaves <- s.leaves + 1);

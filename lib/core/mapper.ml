@@ -25,6 +25,7 @@ type options = {
   domains : int;
   chunk_size : int;
   obs : Obs.t;
+  deadline : Deadline.t;
 }
 
 let default =
@@ -34,6 +35,7 @@ let default =
     domains = 1;
     chunk_size = default_chunk_size;
     obs = Obs.noop;
+    deadline = Deadline.none;
   }
 
 (* What the mapper actually needs from the thing it maps against — a
@@ -151,9 +153,12 @@ let recheck ~obs pt ~pattern hits =
 (* Map one read: all forward hits, then all reverse-complement hits, in
    the order the engine reports them.  Pure with respect to the target,
    so reads can be fanned out across domains freely. *)
-let map_one ~stats ~obs ~engine ~both_strands target ~k (read_id, sequence) =
+let map_one ~stats ~obs ~engine ~both_strands ~deadline target ~k
+    (read_id, sequence) =
   let search strand pattern =
-    match target.tgt_run (Kmismatch.Query.make ~obs ~engine ~pattern ~k ()) with
+    match
+      target.tgt_run (Kmismatch.Query.make ~obs ~deadline ~engine ~pattern ~k ())
+    with
     | Error e -> raise (Skip e)
     | Ok r ->
         Stats.merge ~into:stats r.Kmismatch.Response.stats;
@@ -179,7 +184,7 @@ let map_one ~stats ~obs ~engine ~both_strands target ~k (read_id, sequence) =
   fwd @ rev
 
 let run_target opts target ~reads ~k =
-  let { engine; both_strands; domains; chunk_size; obs } = opts in
+  let { engine; both_strands; domains; chunk_size; obs; deadline } = opts in
   if domains < 1 then invalid_arg "Mapper.run: domains must be >= 1";
   if chunk_size < 1 then invalid_arg "Mapper.run: chunk_size must be >= 1";
   let t0 = Obs.Clock.now_ns () in
@@ -205,48 +210,77 @@ let run_target opts target ~reads ~k =
      seq≡par guarantee holds for the surviving reads. *)
   let per_read = Array.make n [] in
   let skip_slot = Array.make n None in
+  (* [touched.(i)] distinguishes "processed, zero hits" from "never
+     reached": the pool's [cancel] skips whole chunk bodies once the
+     batch deadline expires, and the post-pass below turns every
+     untouched read into a typed [Timeout] skip. *)
+  let touched = Array.make n false in
+  let expired_msg = "batch deadline expired before this read was searched" in
   let t1 = Obs.Clock.now_ns () in
   Work_pool.with_pool ~domains (fun pool ->
-      Work_pool.run ~obs:worker_obs pool ~tasks:(Array.length bounds)
-        (fun ~worker ~task ->
-          let stats = worker_stats.(worker) in
-          let o = worker_obs.(worker) in
-          let start, len = bounds.(task) in
-          for i = start to start + len - 1 do
-            let _, sequence = reads.(i) in
-            match validate_read ~target sequence with
-            | Error e ->
-                skip_slot.(i) <- Some e;
+      match
+        Work_pool.run
+          ~cancel:(fun () -> Deadline.expired deadline)
+          ~obs:worker_obs pool ~tasks:(Array.length bounds)
+          (fun ~worker ~task ->
+            let stats = worker_stats.(worker) in
+            let o = worker_obs.(worker) in
+            let start, len = bounds.(task) in
+            for i = start to start + len - 1 do
+              touched.(i) <- true;
+              let _, sequence = reads.(i) in
+              (* Coarse per-read checkpoint: a read started after expiry
+                 sheds immediately; one already in flight is cut by the
+                 engine polls through the query's own deadline. *)
+              if Deadline.expired deadline then begin
+                skip_slot.(i) <- Some (Kmm_error.Timeout expired_msg);
                 Obs.incr o "map.reads_skipped"
-            | Ok () -> (
-                let map () =
-                  map_one ~stats ~obs:o ~engine ~both_strands target ~k
-                    reads.(i)
-                in
-                match
-                  if Obs.enabled o then Obs.time o "map.read" map else map ()
-                with
-                | hits ->
-                    per_read.(i) <- hits;
-                    if Obs.enabled o then begin
-                      Obs.incr o "map.reads";
-                      (* Hit multiplicity is a function of the input
-                         alone — the histogram merges bit-for-bit across
-                         any domain count. *)
-                      Obs.record o "map.read_hits" (List.length hits)
-                    end
-                | exception Skip e ->
-                    (* The target refused the query after validation —
-                       the read's own typed skip, not a batch abort. *)
-                    Obs.incr o "map.reads_skipped";
-                    skip_slot.(i) <- Some e
-                | exception e ->
-                    (* An engine exception on a validated read is a bug,
-                       but it still only costs this one read. *)
-                    Obs.incr o "map.reads_failed";
-                    skip_slot.(i) <-
-                      Some (Kmm_error.Internal (Printexc.to_string e)))
-          done));
+              end
+              else
+                match validate_read ~target sequence with
+                | Error e ->
+                    skip_slot.(i) <- Some e;
+                    Obs.incr o "map.reads_skipped"
+                | Ok () -> (
+                    let map () =
+                      map_one ~stats ~obs:o ~engine ~both_strands ~deadline
+                        target ~k reads.(i)
+                    in
+                    match
+                      if Obs.enabled o then Obs.time o "map.read" map
+                      else map ()
+                    with
+                    | hits ->
+                        per_read.(i) <- hits;
+                        if Obs.enabled o then begin
+                          Obs.incr o "map.reads";
+                          (* Hit multiplicity is a function of the input
+                             alone — the histogram merges bit-for-bit
+                             across any domain count. *)
+                          Obs.record o "map.read_hits" (List.length hits)
+                        end
+                    | exception Skip e ->
+                        (* The target refused the query after validation —
+                           the read's own typed skip, not a batch abort. *)
+                        Obs.incr o "map.reads_skipped";
+                        skip_slot.(i) <- Some e
+                    | exception e ->
+                        (* An engine exception on a validated read is a
+                           bug, but it still only costs this one read. *)
+                        Obs.incr o "map.reads_failed";
+                        skip_slot.(i) <-
+                          Some (Kmm_error.Internal (Printexc.to_string e)))
+            done)
+      with
+      | () -> ()
+      | exception Work_pool.Cancelled ->
+          (* Chunks skipped by the cancel poll: their reads were never
+             touched and become Timeout skips below. *)
+          ());
+  for i = 0 to n - 1 do
+    if not touched.(i) then
+      skip_slot.(i) <- Some (Kmm_error.Timeout expired_msg)
+  done;
   let t2 = Obs.Clock.now_ns () in
   let stats = Stats.create () in
   Array.iter (fun s -> Stats.merge ~into:stats s) worker_stats;

@@ -53,12 +53,24 @@ type options = {
   obs : Obs.t;
       (** observability sink; {!Obs.noop} (the default) disables all
           recording at the cost of one branch per read *)
+  deadline : Deadline.t;
+      (** compute budget for the whole batch ({!Deadline.none}, the
+          default, runs to completion).  Once it expires the batch
+          drains fast instead of aborting: reads not yet started are
+          skipped with a typed [Timeout] (whole pending pool chunks are
+          skipped via [Work_pool.run ?cancel]), reads in flight are cut
+          at the engines' next cooperative poll and skipped likewise,
+          and everything finished before expiry keeps its hits — the
+          summary stays fail-soft, it just attributes the unfinished
+          tail to the deadline.  Which reads land on each side of the
+          cut depends on timing, so a deadline forfeits the seq≡par
+          byte-identity guarantee (only {!Deadline.none} keeps it). *)
 }
 
 val default : options
 (** [{ engine = M_tree; both_strands = true; domains = 1; chunk_size =
-    default_chunk_size; obs = Obs.noop }] — override fields with
-    [{ default with ... }]. *)
+    default_chunk_size; obs = Obs.noop; deadline = Deadline.none }] —
+    override fields with [{ default with ... }]. *)
 
 (** {1 Map targets}
 

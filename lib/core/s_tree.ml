@@ -59,6 +59,7 @@ let search ?(use_delta = true) ?stats ?(obs = Obs.noop) fm ~pattern ~k =
        spent.  Branches for all four characters come from one rank-all
        pass over the interval boundaries. *)
     let rec expand iv j q =
+      Deadline.poll ();
       if j = m then begin
         bump (fun s -> s.leaves <- s.leaves + 1);
         report iv q

@@ -14,6 +14,7 @@
    can never deadlock the pool or orphan a domain. *)
 
 exception Task_failed of { task : int; exn : exn }
+exception Cancelled
 
 let () =
   Printexc.register_printer (function
@@ -21,6 +22,7 @@ let () =
         Some
           (Printf.sprintf "Work_pool.Task_failed (task %d: %s)" task
              (Printexc.to_string exn))
+    | Cancelled -> Some "Work_pool.Cancelled"
     | _ -> None)
 
 type job = {
@@ -29,6 +31,8 @@ type job = {
   mutable next : int;  (* next task id to hand out *)
   mutable finished : int;  (* task ids fully executed *)
   mutable error : (int * exn) option;  (* first failing task id + exception *)
+  cancel : (unit -> bool) option;  (* polled before each task body *)
+  mutable cancelled : bool;  (* a body was skipped because [cancel] fired *)
   obs : Obs.t array;  (* per-worker sinks; [||] = observability off *)
   submitted_ns : int;  (* monotonic submission instant, for queue-wait *)
 }
@@ -69,11 +73,18 @@ let drain_tasks t j ~worker =
     let task = j.next in
     j.next <- j.next + 1;
     Mutex.unlock t.lock;
-    let error = match exec_task j ~worker ~task with
-      | () -> None
-      | exception e -> Some (task, e)
+    (* The cancel poll happens unlocked: it may read a clock or an
+       Atomic, and must never raise. *)
+    let skip = match j.cancel with Some c -> c () | None -> false in
+    let error =
+      if skip then None
+      else
+        match exec_task j ~worker ~task with
+        | () -> None
+        | exception e -> Some (task, e)
     in
     Mutex.lock t.lock;
+    if skip then j.cancelled <- true;
     (match error with
     | None -> ()
     | Some _ when j.error <> None -> ()
@@ -116,7 +127,7 @@ let create ?domains () =
         Domain.spawn (fun () -> worker_loop t ~worker:(i + 1)));
   t
 
-let run ?(obs = [||]) t ~tasks body =
+let run ?cancel ?(obs = [||]) t ~tasks body =
   if tasks < 0 then invalid_arg "Work_pool.run: negative task count";
   if t.stop then invalid_arg "Work_pool.run: pool is shut down";
   let submitted_ns =
@@ -126,19 +137,23 @@ let run ?(obs = [||]) t ~tasks body =
   else if t.n = 1 then begin
     (* Sequential special case: inline, in order, no locking — but with
        the same failure semantics as the parallel path: a raising task
-       does not stop the remaining tasks, and the first failure surfaces
-       as [Task_failed] with its task id once the job has drained. *)
+       does not stop the remaining tasks, the first failure surfaces
+       as [Task_failed] with its task id once the job has drained, and
+       [cancel] is polled before every task body. *)
     let j = { body; total = tasks; next = 0; finished = 0; error = None;
-              obs; submitted_ns } in
+              cancel; cancelled = false; obs; submitted_ns } in
     let error = ref None in
     for task = 0 to tasks - 1 do
-      match exec_task j ~worker:0 ~task with
-      | () -> ()
-      | exception e -> if !error = None then error := Some (task, e)
+      let skip = match cancel with Some c -> c () | None -> false in
+      if skip then j.cancelled <- true
+      else
+        match exec_task j ~worker:0 ~task with
+        | () -> ()
+        | exception e -> if !error = None then error := Some (task, e)
     done;
     match !error with
     | Some (task, exn) -> raise (Task_failed { task; exn })
-    | None -> ()
+    | None -> if j.cancelled then raise Cancelled
   end
   else begin
     Mutex.lock t.lock;
@@ -147,7 +162,7 @@ let run ?(obs = [||]) t ~tasks body =
       invalid_arg "Work_pool.run: a job is already running (re-entrant run?)"
     end;
     let j = { body; total = tasks; next = 0; finished = 0; error = None;
-              obs; submitted_ns } in
+              cancel; cancelled = false; obs; submitted_ns } in
     t.job <- Some j;
     Condition.broadcast t.work_ready;
     (* The submitting domain participates as worker 0. *)
@@ -156,10 +171,11 @@ let run ?(obs = [||]) t ~tasks body =
       Condition.wait t.work_done t.lock
     done;
     t.job <- None;
+    let cancelled = j.cancelled in
     Mutex.unlock t.lock;
     match j.error with
     | Some (task, exn) -> raise (Task_failed { task; exn })
-    | None -> ()
+    | None -> if cancelled then raise Cancelled
   end
 
 let map_array t ~f a =

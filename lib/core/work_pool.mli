@@ -24,6 +24,14 @@ exception Task_failed of { task : int; exn : exn }
     observed to fail) and no domain is left blocked on the job — a
     raising task can neither deadlock the pool nor orphan a worker. *)
 
+exception Cancelled
+(** The job was cut short: {!run}'s [cancel] callback returned [true]
+    before at least one task body ran, so that body (and possibly
+    later ones) was skipped.  Raised at the submitter once the job has
+    drained — same discipline as {!Task_failed} — and only when no task
+    failed ({!Task_failed} wins).  Result slots of skipped tasks are
+    untouched; the caller decides what partial results mean. *)
+
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], clamped to at least 1. *)
 
@@ -37,7 +45,12 @@ val domains : t -> int
 (** Number of domains (including the caller) jobs run on. *)
 
 val run :
-  ?obs:Obs.t array -> t -> tasks:int -> (worker:int -> task:int -> unit) -> unit
+  ?cancel:(unit -> bool) ->
+  ?obs:Obs.t array ->
+  t ->
+  tasks:int ->
+  (worker:int -> task:int -> unit) ->
+  unit
 (** [run t ~tasks body] executes [body ~worker ~task] once for every
     [task] in [0 .. tasks - 1] across the pool and returns when all have
     finished.  [worker] is a stable id in [0 .. domains t - 1] (0 is the
@@ -48,6 +61,18 @@ val run :
     caller as {!Task_failed}, carrying the offending task id.  With
     [domains t = 1] the tasks run inline, in order, with the same
     failure semantics.  The pool remains usable after a failed job.
+
+    [cancel] (default: never) is the cooperative cancellation point of
+    the job itself: it is polled — unlocked, from whichever domain is
+    about to start a task — before {e every} task body, and once it
+    returns [true] that body is skipped (the task still counts as
+    finished, so the job drains and the completion invariant holds).
+    Tasks already executing are not interrupted; in-task cancellation
+    is the deadline layer's job ([Deadline.poll] inside the body).  If
+    any body was skipped, {!Cancelled} is raised after the drain (unless
+    a task failed — {!Task_failed} takes precedence).  [cancel] must be
+    safe to call concurrently from any domain and must not raise;
+    checking an [Atomic] flag or a [Deadline] both qualify.
 
     [obs] (default [[||]], observability off) supplies one sink per
     worker, indexed by worker id — per-domain sinks, never shared, to be

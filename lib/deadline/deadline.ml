@@ -1,0 +1,59 @@
+type t = int
+(* Absolute Obs.Clock.now_ns instant; max_int = none.  Plain int so the
+   ambient slot and every comparison stay allocation-free. *)
+
+let none = max_int
+
+let after seconds =
+  if seconds >= float_of_int max_int *. 1e-9 then none
+  else Obs.Clock.now_ns () + int_of_float (seconds *. 1e9)
+
+let of_ns ns = ns
+
+let is_none d = d = max_int
+
+let expired d = (not (is_none d)) && Obs.Clock.now_ns () >= d
+
+let remaining_ns d = if is_none d then max_int else d - Obs.Clock.now_ns ()
+
+let remaining_s d =
+  if is_none d then infinity else float_of_int (remaining_ns d) *. 1e-9
+
+exception Expired
+
+let poll_stride = 256
+
+(* The ambient slot.  One mutable record per domain: [deadline] is the
+   installed instant (max_int when absent), [fuel] counts polls until
+   the next clock read.  DLS lookup is a few loads — the taps-off poll
+   is that lookup plus one compare. *)
+type slot = { mutable deadline : int; mutable fuel : int }
+
+let key = Domain.DLS.new_key (fun () -> { deadline = max_int; fuel = 0 })
+
+let ambient () = (Domain.DLS.get key).deadline
+
+let with_ambient d f =
+  let s = Domain.DLS.get key in
+  let saved_deadline = s.deadline and saved_fuel = s.fuel in
+  s.deadline <- d;
+  s.fuel <- 0;
+  Fun.protect
+    ~finally:(fun () ->
+      s.deadline <- saved_deadline;
+      s.fuel <- saved_fuel)
+    f
+
+let[@inline] poll () =
+  let s = Domain.DLS.get key in
+  if s.deadline <> max_int then
+    if s.fuel > 0 then s.fuel <- s.fuel - 1
+    else begin
+      s.fuel <- poll_stride - 1;
+      if Obs.Clock.now_ns () >= s.deadline then raise Expired
+    end
+
+let check () =
+  let s = Domain.DLS.get key in
+  if s.deadline <> max_int && Obs.Clock.now_ns () >= s.deadline then
+    raise Expired

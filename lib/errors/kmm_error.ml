@@ -24,6 +24,8 @@ type t =
   | Io of exn
   | Bad_input of string
   | Internal of string
+  | Timeout of string
+  | Overloaded of string
 
 exception Error of t
 
@@ -43,6 +45,8 @@ let to_string = function
   | Io e -> Printf.sprintf "i/o error (%s)" (Printexc.to_string e)
   | Bad_input msg -> Printf.sprintf "bad input: %s" msg
   | Internal msg -> Printf.sprintf "internal error: %s" msg
+  | Timeout msg -> Printf.sprintf "timeout: %s" msg
+  | Overloaded msg -> Printf.sprintf "server overloaded: %s" msg
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 
@@ -54,6 +58,8 @@ let exit_code = function
   | Corrupt _ -> 6
   | Io _ -> 7
   | Internal _ -> 8
+  | Timeout _ -> 9
+  | Overloaded _ -> 10
 
 let equal a b =
   match (a, b) with

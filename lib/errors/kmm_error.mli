@@ -34,6 +34,12 @@ type t =
   | Io of exn  (** the operating system failed us ([Sys_error], [Unix_error]) *)
   | Bad_input of string  (** malformed user-supplied data (FASTA, reads, patterns) *)
   | Internal of string  (** a bug: an invariant the library itself broke *)
+  | Timeout of string
+      (** a deadline expired before the work finished; partial work is
+          discarded, so a retry (with a larger budget) is safe *)
+  | Overloaded of string
+      (** the server shed the request before doing any work (admission
+          queue full, or draining for shutdown); retryable with backoff *)
 
 exception Error of t
 (** The raising channel for contexts where a [result] is impractical.
@@ -58,7 +64,9 @@ val exit_code : t -> int
     {- [5] — [Truncated]}
     {- [6] — [Corrupt]}
     {- [7] — [Io]}
-    {- [8] — [Internal]}}
+    {- [8] — [Internal]}
+    {- [9] — [Timeout]}
+    {- [10] — [Overloaded]}}
     [0] is success; [1] and [123..125] stay reserved for the argument
     parser. *)
 

@@ -293,7 +293,12 @@ let limits_to_json l =
     ]
 
 type body =
-  | Query of { pattern : string; k : int; engine : Core.Kmismatch.engine }
+  | Query of {
+      pattern : string;
+      k : int;
+      engine : Core.Kmismatch.engine;
+      deadline : float option;
+    }
   | Ping
   | Metrics
   | Info
@@ -350,16 +355,55 @@ let parse_request ~limits line =
                   | Ok k when k > limits.max_k ->
                       reject (bad "k=%d exceeds max_k %d" k limits.max_k)
                   | Ok k -> (
-                      match Json.member "engine" obj with
-                      | None -> Ok { id; body = Query { pattern; k; engine = Core.Kmismatch.M_tree } }
-                      | Some (Json.String name) -> (
-                          match Core.Kmismatch.engine_of_string name with
-                          | Some engine -> Ok { id; body = Query { pattern; k; engine } }
+                      (* Relative compute budget in seconds; the server
+                         anchors it to its monotonic clock at admission.
+                         Relative (not absolute wall time) so client and
+                         server clocks never need to agree. *)
+                      let deadline =
+                        match Json.member "deadline" obj with
+                        | None -> Ok None
+                        | Some (Json.Int s) when s > 0 ->
+                            Ok (Some (float_of_int s))
+                        | Some (Json.Float s) when s > 0. && Float.is_finite s
+                          ->
+                            Ok (Some s)
+                        | Some (Json.Int _ | Json.Float _) ->
+                            Error (bad "\"deadline\" must be positive")
+                        | Some _ ->
+                            Error
+                              (bad "\"deadline\" must be a number of seconds")
+                      in
+                      match deadline with
+                      | Error e -> reject e
+                      | Ok deadline -> (
+                          match Json.member "engine" obj with
                           | None ->
-                              reject
-                                (bad "unknown engine %S (expected one of: %s)" name
-                                   (engine_names ())))
-                      | Some _ -> reject (bad "\"engine\" must be a string")))
+                              Ok
+                                {
+                                  id;
+                                  body =
+                                    Query
+                                      {
+                                        pattern;
+                                        k;
+                                        engine = Core.Kmismatch.M_tree;
+                                        deadline;
+                                      };
+                                }
+                          | Some (Json.String name) -> (
+                              match Core.Kmismatch.engine_of_string name with
+                              | Some engine ->
+                                  Ok
+                                    {
+                                      id;
+                                      body =
+                                        Query { pattern; k; engine; deadline };
+                                    }
+                              | None ->
+                                  reject
+                                    (bad "unknown engine %S (expected one of: %s)"
+                                       name (engine_names ())))
+                          | Some _ -> reject (bad "\"engine\" must be a string"))))
             | Some _ -> reject (bad "\"pattern\" must be a string"))
         | Ok other ->
             reject
@@ -372,16 +416,22 @@ let parse_request ~limits line =
 let with_id id fields =
   match id with Json.Null -> fields | id -> ("id", id) :: fields
 
-let query_request ?(id = Json.Null) ?engine ~pattern ~k () =
+let query_request ?(id = Json.Null) ?engine ?deadline ~pattern ~k () =
   let engine_field =
     match engine with
     | None -> []
     | Some e -> [ ("engine", Json.String (Core.Kmismatch.engine_name e)) ]
   in
+  let deadline_field =
+    match deadline with
+    | None -> []
+    | Some s -> [ ("deadline", Json.Float s) ]
+  in
   Json.to_string
     (Json.Obj
        (with_id id
-          ([ ("pattern", Json.String pattern); ("k", Json.Int k) ] @ engine_field)))
+          ([ ("pattern", Json.String pattern); ("k", Json.Int k) ]
+          @ deadline_field @ engine_field)))
 
 let command_request ?(id = Json.Null) cmd =
   Json.to_string (Json.Obj (with_id id [ ("cmd", Json.String cmd) ]))

@@ -15,6 +15,7 @@
 
     {v
     {"cmd":"query","id":7,"pattern":"acgtacgt","k":2,"engine":"m-tree"}
+    {"cmd":"query","id":8,"pattern":"acgtacgt","k":2,"deadline":0.25}
     {"cmd":"ping"}
     {"cmd":"metrics"}
     {"cmd":"info"}
@@ -23,7 +24,14 @@
 
     [pattern] is required for queries; [k] defaults to [0]; [engine]
     defaults to ["m-tree"] and accepts every name of
-    {!Core.Kmismatch.all_engines}.
+    {!Core.Kmismatch.all_engines}.  [deadline] (optional) is the query's
+    compute budget in {e relative} seconds — relative so client and
+    server clocks never need to agree; the server anchors it to its own
+    monotonic clock the moment the frame is admitted, and the budget
+    covers queue wait as well as search.  A query whose budget expires
+    answers with a typed [Timeout] error frame (code 9) and discards all
+    partial work; a non-positive or non-numeric [deadline] is
+    [Bad_input].
 
     {2 Responses}
 
@@ -90,7 +98,12 @@ val limits_to_json : limits -> Json.t
 (** {1 Requests} *)
 
 type body =
-  | Query of { pattern : string; k : int; engine : Core.Kmismatch.engine }
+  | Query of {
+      pattern : string;
+      k : int;
+      engine : Core.Kmismatch.engine;
+      deadline : float option;  (** relative seconds, validated positive *)
+    }
   | Ping
   | Metrics
   | Info
@@ -115,11 +128,13 @@ val parse_request :
 val query_request :
   ?id:Json.t ->
   ?engine:Core.Kmismatch.engine ->
+  ?deadline:float ->
   pattern:string ->
   k:int ->
   unit ->
   string
-(** One query frame (no trailing newline). *)
+(** One query frame (no trailing newline).  [deadline] is the relative
+    compute budget in seconds (see the frame grammar above). *)
 
 val command_request : ?id:Json.t -> string -> string
 (** A bare-command frame: [command_request "ping"] etc. *)

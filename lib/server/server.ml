@@ -21,19 +21,37 @@ exception Conn_lost
    Caught at the top of each connection thread: costs that connection,
    never the daemon. *)
 
-let write_all fd s =
+exception Conn_stalled
+(* A peer stopped draining its socket: the whole-response send budget
+   expired with bytes still unwritten.  Same blast radius as
+   [Conn_lost] — the connection is dropped, the daemon keeps serving —
+   but counted separately ([serve.conns_stalled]), because a stalled
+   reader is an overload/abuse signal, not churn. *)
+
+(* Write the whole string, or raise.  [deadline] bounds the {e total}
+   send — it is re-checked around every partial write, so a reader that
+   drains one socket buffer per [SO_SNDTIMEO] tick (each [Unix.write]
+   wakes at least that often once the timeout is set on [fd]) cannot
+   stretch one response forever.  [EAGAIN] here means the send timeout
+   expired with the buffer still full; we keep retrying only while the
+   budget lasts. *)
+let write_all ?(deadline = Deadline.none) fd s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let rec go off =
-    if off < n then
+    if off < n then begin
+      if Deadline.expired deadline then raise Conn_stalled;
       match Unix.write fd b off (n - off) with
       | w -> go (off + w)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          if Deadline.expired deadline then raise Conn_stalled else go off
       | exception
           Unix.Unix_error
             ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN | Unix.ENOTCONN | Unix.EBADF), _, _)
         ->
           raise Conn_lost
+    end
   in
   go 0
 
@@ -76,6 +94,11 @@ module Line_reader = struct
       if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
     in
     Queue.add line t.lines
+
+  (* Complete frames already parsed out of past reads: the drain path
+     consumes these (answering each with a typed refusal) instead of
+     abandoning a pipelining client mid-burst. *)
+  let buffered t = not (Queue.is_empty t.lines)
 
   let rec next ~max_line t =
     match Queue.take_opt t.lines with
@@ -121,8 +144,10 @@ type config = {
   socket_path : string;
   domains : int;
   batch_max : int;
+  max_queue : int;
   backlog : int;
   limits : Protocol.limits;
+  send_timeout : float;
   trace : bool;
   log : string -> unit;
 }
@@ -132,8 +157,10 @@ let default_config ~socket_path =
     socket_path;
     domains = Core.Work_pool.default_domains ();
     batch_max = 64;
+    max_queue = 1024;
     backlog = 64;
     limits = Protocol.default_limits;
+    send_timeout = 10.0;
     trace = false;
     log = ignore;
   }
@@ -142,6 +169,8 @@ type job = {
   pattern : string;
   k : int;
   engine : Kmismatch.engine;
+  deadline : Deadline.t;
+      (* anchored at admission: the budget covers queue wait too *)
   jm : Mutex.t;
   jcv : Condition.t;
   mutable answer : (Kmismatch.Response.t, Kmm_error.t) result option;
@@ -197,14 +226,22 @@ let process_batch t (batch : job array) =
   (try
      Core.Work_pool.run ~obs:forks t.pool ~tasks:n (fun ~worker ~task ->
          let j = batch.(task) in
-         let query =
-           Kmismatch.Query.make ~obs:forks.(worker) ~engine:j.engine
-             ~pattern:j.pattern ~k:j.k ()
-         in
-         answers.(task) <-
-           (match Corpus.try_run t.corpus query with
-           | r -> r
-           | exception e -> Error (Kmm_error.Internal (Printexc.to_string e))))
+         (* A job whose budget already expired in the queue is answered
+            without touching the corpus; one that expires mid-search is
+            cut by the engine polls inside [try_run].  Either way the
+            reply is a typed [Timeout] and partial work is discarded. *)
+         if Deadline.expired j.deadline then
+           answers.(task) <-
+             Error (Kmm_error.Timeout "deadline expired while queued")
+         else
+           let query =
+             Kmismatch.Query.make ~obs:forks.(worker) ~deadline:j.deadline
+               ~engine:j.engine ~pattern:j.pattern ~k:j.k ()
+           in
+           answers.(task) <-
+             (match Corpus.try_run t.corpus query with
+             | r -> r
+             | exception e -> Error (Kmm_error.Internal (Printexc.to_string e))))
    with e ->
      (* [try_run] never raises, so this is a pool-level fault; answer
         every job rather than leaving a connection thread waiting. *)
@@ -243,19 +280,32 @@ let dispatcher_loop t =
   in
   loop ()
 
-(* Submit a query and block until the dispatcher answers it.  Refused
-   (with [None]) once a stop was requested — the queue is guaranteed to
-   drain, so anything admitted here is guaranteed an answer. *)
-let submit t ~pattern ~k ~engine =
-  let job =
-    { pattern; k; engine; jm = Mutex.create (); jcv = Condition.create (); answer = None }
-  in
+(* Submit a query and block until the dispatcher answers it.  Admission
+   can refuse — typed, before any work — for two reasons: a stop was
+   requested (the queue is guaranteed to drain, so anything admitted is
+   guaranteed an answer), or the queue is at [max_queue] (shed, so a
+   burst beyond capacity costs the excess queries an immediate
+   [Overloaded] reply instead of unbounded memory and queue latency).
+   Both are [Overloaded]: transient by contract, safe to retry with
+   backoff. *)
+let submit t ~pattern ~k ~engine ~deadline =
   Mutex.lock t.qm;
   if stopping t then begin
     Mutex.unlock t.qm;
-    None
+    Error (Kmm_error.Overloaded "server is shutting down (draining)")
+  end
+  else if Queue.length t.queue >= t.cfg.max_queue then begin
+    Mutex.unlock t.qm;
+    Error
+      (Kmm_error.Overloaded
+         (Printf.sprintf "admission queue full (max_queue = %d)"
+            t.cfg.max_queue))
   end
   else begin
+    let job =
+      { pattern; k; engine; deadline; jm = Mutex.create ();
+        jcv = Condition.create (); answer = None }
+    in
     Queue.add job t.queue;
     Condition.signal t.qcv;
     Mutex.unlock t.qm;
@@ -264,7 +314,7 @@ let submit t ~pattern ~k ~engine =
       Condition.wait job.jcv job.jm
     done;
     Mutex.unlock job.jm;
-    job.answer
+    match job.answer with Some r -> r | None -> assert false
   end
 
 (* --- connection handling -------------------------------------------- *)
@@ -293,16 +343,23 @@ let info_fields t =
     ("limits", limits_to_json t.cfg.limits);
   ]
 
-let handle_query t ~respond ~id ~pattern ~k ~engine =
+let handle_query t ~respond ~id ~pattern ~k ~engine ~deadline =
   let open Protocol in
   let t0 = Obs.Clock.now_ns () in
-  match submit t ~pattern ~k ~engine with
-  | None ->
-      respond (error_response ~id (Kmm_error.Io (Failure "server is shutting down")))
-  | Some (Error e) ->
-      with_metrics t (fun s -> Obs.incr s "serve.errors");
+  (* The relative wire budget is anchored to the monotonic clock here,
+     at admission: queue wait spends it just like search does. *)
+  let deadline =
+    match deadline with None -> Deadline.none | Some s -> Deadline.after s
+  in
+  match submit t ~pattern ~k ~engine ~deadline with
+  | Error e ->
+      with_metrics t (fun s ->
+          match e with
+          | Kmm_error.Overloaded _ -> Obs.incr s "serve.shed"
+          | Kmm_error.Timeout _ -> Obs.incr s "serve.timeouts"
+          | _ -> Obs.incr s "serve.errors");
       respond (error_response ~id e)
-  | Some (Ok r) ->
+  | Ok r ->
       let hits = r.Kmismatch.Response.hits in
       let count = List.length hits in
       let truncated = count > t.cfg.limits.max_hits in
@@ -318,7 +375,11 @@ let handle_conn t fd =
   let open Protocol in
   let reader = Line_reader.create fd in
   let max_line = t.cfg.limits.max_frame in
-  let respond s = write_all fd (s ^ "\n") in
+  (* Each response gets one whole-send budget: a peer that stops reading
+     stalls only its own connection, and only for [send_timeout]. *)
+  let respond s =
+    write_all ~deadline:(Deadline.after t.cfg.send_timeout) fd (s ^ "\n")
+  in
   let reject ~id e =
     bump t "serve.rejected";
     respond (error_response ~id e)
@@ -337,8 +398,8 @@ let handle_conn t fd =
             respond (ok_obj_response ~id [ ("stopping", Json.Bool true) ]);
             t.cfg.log "shutdown requested over the wire";
             request_stop t
-        | Query { pattern; k; engine } ->
-            handle_query t ~respond ~id ~pattern ~k ~engine)
+        | Query { pattern; k; engine; deadline } ->
+            handle_query t ~respond ~id ~pattern ~k ~engine ~deadline)
   in
   let rec loop () =
     match Line_reader.next ~max_line reader with
@@ -356,10 +417,15 @@ let handle_conn t fd =
     | Line "" -> loop ()
     | Line line ->
         handle_frame line;
-        if stopping t then () else loop ()
+        (* On stop, keep consuming frames the client already pipelined
+           into our buffer — each gets a typed [Overloaded] refusal from
+           [submit] — and only then hang up.  A late arrival is told why
+           it was refused instead of seeing a silent close. *)
+        if stopping t && not (Line_reader.buffered reader) then () else loop ()
   in
   (try loop () with
   | Conn_lost -> bump t "serve.conns_dropped"
+  | Conn_stalled -> bump t "serve.conns_stalled"
   | e ->
       bump t "serve.conns_failed";
       t.cfg.log (Printf.sprintf "connection failed: %s" (Printexc.to_string e)));
@@ -376,8 +442,12 @@ let acceptor_loop t =
           match Unix.accept ~cloexec:true t.listen_fd with
           | fd, _ ->
               (* Bounded read timeout: connection threads poll the stop
-                 flag at least every 250 ms even when a client idles. *)
+                 flag at least every 250 ms even when a client idles.
+                 The send timeout makes a blocked [Unix.write] wake just
+                 as often, so [write_all] can enforce its whole-response
+                 budget against a stalled reader. *)
               Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25;
+              Unix.setsockopt_float fd Unix.SO_SNDTIMEO 0.25;
               bump t "serve.connections";
               let th = Thread.create (fun () -> handle_conn t fd) () in
               Mutex.lock t.cm;
@@ -430,6 +500,9 @@ let max_socket_path = 107
 let start cfg corpus =
   if cfg.domains < 1 then invalid_arg "Server.start: domains must be >= 1";
   if cfg.batch_max < 1 then invalid_arg "Server.start: batch_max must be >= 1";
+  if cfg.max_queue < 1 then invalid_arg "Server.start: max_queue must be >= 1";
+  if not (cfg.send_timeout > 0.) then
+    invalid_arg "Server.start: send_timeout must be > 0";
   if String.length cfg.socket_path > max_socket_path then
     Kmm_error.raise_error
       (Kmm_error.Bad_input
@@ -535,39 +608,150 @@ let serve ?trace_out ?metrics_out cfg corpus =
 (* --- client helpers ------------------------------------------------- *)
 
 module Client = struct
-  type c = { fd : Unix.file_descr; reader : Line_reader.t }
+  type c = {
+    fd : Unix.file_descr;
+    reader : Line_reader.t;
+    timeout : float option;  (* read budget per reply, None = wait forever *)
+  }
 
-  let connect path =
+  (* Connect with an optional budget.  The refused/stale/missing-socket
+     family keeps raising [Unix.Unix_error] (callers pattern-match it to
+     print the "is kmm serve running?" hint); a connect that hangs —
+     possible when the daemon's listen backlog is full — is bounded by
+     [timeout] via the non-blocking connect + select idiom and surfaces
+     as [Unix_error (ETIMEDOUT, "connect", path)]. *)
+  let connect ?timeout path =
     let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (match Unix.connect fd (Unix.ADDR_UNIX path) with
+    (match
+       match timeout with
+       | None -> Unix.connect fd (Unix.ADDR_UNIX path)
+       | Some budget -> (
+           Unix.set_nonblock fd;
+           (match Unix.connect fd (Unix.ADDR_UNIX path) with
+           | () -> ()
+           | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+             -> (
+               match Unix.select [] [ fd ] [] budget with
+               | _, [ _ ], _ -> (
+                   match Unix.getsockopt_error fd with
+                   | None -> ()
+                   | Some err -> raise (Unix.Unix_error (err, "connect", path)))
+               | _ ->
+                   raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", path))));
+           Unix.clear_nonblock fd;
+           (* Reads and writes inherit the same budget as ticks; the
+              whole-reply budget is enforced in [recv_line]. *)
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO (Float.min budget 0.25);
+           Unix.setsockopt_float fd Unix.SO_SNDTIMEO (Float.min budget 0.25))
+     with
     | () -> ()
     | exception e ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         raise e);
-    { fd; reader = Line_reader.create fd }
+    { fd; reader = Line_reader.create fd; timeout }
+
+  (* [connect] with the failure as a value: the raw [Unix_error] becomes
+     a typed [Io] carrying an actionable message.  This is what the CLI
+     and the retry loop below build on. *)
+  let try_connect ?timeout path =
+    match connect ?timeout path with
+    | c -> Ok c
+    | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Kmm_error.Io
+             (Failure
+                (Printf.sprintf "cannot connect to %s: %s (is kmm serve running?)"
+                   path (Unix.error_message e))))
 
   let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
-  let send_line c s = write_all c.fd (s ^ "\n")
+  let send_line c s =
+    let deadline =
+      match c.timeout with None -> Deadline.none | Some b -> Deadline.after b
+    in
+    write_all ~deadline c.fd (s ^ "\n")
 
-  let rec recv_line c =
-    (* No SO_RCVTIMEO on client sockets: reads block until a frame or
-       EOF, so Timeout never surfaces here. *)
-    match Line_reader.next ~max_line:Sys.max_string_length c.reader with
-    | Line_reader.Line l -> Some l
-    | Line_reader.Timeout -> recv_line c
-    | Line_reader.Eof | Line_reader.Truncated | Line_reader.Oversize -> None
+  exception Read_timed_out
+
+  let recv_line c =
+    let deadline =
+      match c.timeout with None -> Deadline.none | Some b -> Deadline.after b
+    in
+    let rec go () =
+      match Line_reader.next ~max_line:Sys.max_string_length c.reader with
+      | Line_reader.Line l -> Some l
+      | Line_reader.Timeout ->
+          (* SO_RCVTIMEO tick (only set when a timeout was requested):
+             re-check the whole-reply budget and keep waiting. *)
+          if Deadline.expired deadline then raise Read_timed_out else go ()
+      | Line_reader.Eof | Line_reader.Truncated | Line_reader.Oversize -> None
+    in
+    go ()
 
   let rpc c frame =
     match send_line c frame with
     | () -> (
         match recv_line c with
-        | Some line -> Protocol.parse_reply line
-        | None -> Error "connection closed by server")
-    | exception Conn_lost -> Error "connection lost"
+        | Some line -> (
+            match Protocol.parse_reply line with
+            | Ok reply -> Ok reply
+            | Error m -> Error (Kmm_error.Internal m))
+        | None ->
+            Error (Kmm_error.Io (Failure "connection closed by server"))
+        | exception Read_timed_out ->
+            Error
+              (Kmm_error.Timeout
+                 (Printf.sprintf "no reply within %gs"
+                    (Option.value ~default:0. c.timeout))))
+    | exception Conn_lost ->
+        Error (Kmm_error.Io (Failure "connection lost"))
+    | exception Conn_stalled ->
+        Error (Kmm_error.Timeout "send stalled: server stopped reading")
 
-  let query c ?id ?engine ~pattern ~k () =
-    rpc c (Protocol.query_request ?id ?engine ~pattern ~k ())
+  let query c ?id ?engine ?deadline ~pattern ~k () =
+    rpc c (Protocol.query_request ?id ?engine ?deadline ~pattern ~k ())
 
   let command c cmd = rpc c (Protocol.command_request cmd)
+
+  (* --- retry policy ------------------------------------------------- *)
+
+  (* What a client may transparently retry.  [Overloaded] is the server
+     saying exactly that ("try again later"); a connection-level [Io]
+     (refused, reset, vanished) means no request was — or can still
+     be — processed.  [Bad_input] (and the rest of the parse/index
+     family) is deterministic: retrying it spams the server with the
+     same mistake.  [Timeout] is deliberately not retryable: the budget
+     was the caller's own, and retrying with the same budget mostly
+     burns another budget; callers that want to retry a timeout opt in
+     by raising it. *)
+  let retryable = function
+    | Kmm_error.Overloaded _ | Kmm_error.Io _ -> true
+    | Kmm_error.Timeout _ | Kmm_error.Bad_input _ | Kmm_error.Internal _
+    | Kmm_error.Bad_magic | Kmm_error.Unsupported_version _
+    | Kmm_error.Truncated _ | Kmm_error.Corrupt _ ->
+        false
+
+  (* Capped jittered exponential backoff: attempt [i] (0-based) sleeps
+     [base * 2^i] scaled by a uniform jitter in [0.5, 1.0] (decorrelates
+     a fleet of clients shed at the same instant), capped at [cap].
+     Deterministic given [seed] — chaos tests pin it. *)
+  let backoff_delay ~rng ~base ~cap i =
+    let expo = base *. (2. ** float_of_int i) in
+    Float.min cap expo *. (0.5 +. (Random.State.float rng 0.5))
+
+  let with_retry ?(attempts = 3) ?(base = 0.05) ?(cap = 2.0) ?seed f =
+    let rng =
+      match seed with
+      | Some s -> Random.State.make [| s |]
+      | None -> Random.State.make_self_init ()
+    in
+    let rec go i =
+      match f () with
+      | Ok _ as ok -> ok
+      | Error e when i + 1 < attempts && retryable e ->
+          Thread.delay (backoff_delay ~rng ~base ~cap i);
+          go (i + 1)
+      | Error _ as err -> err
+    in
+    go 0
 end

@@ -15,6 +15,7 @@ let search ~pattern ~text ~k =
   let m = String.length pattern and n = String.length text in
   let acc = ref [] in
   for i = n - m downto 0 do
+    Deadline.poll ();
     let d = ref 0 in
     let j = ref 0 in
     while !j < m && !d <= k do

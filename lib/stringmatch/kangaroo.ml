@@ -58,6 +58,7 @@ let scan_packed pt pattern ~k =
   let pp = Fmindex.Packed_text.Pattern.make pattern in
   let acc = ref [] in
   for pos = n - m downto 0 do
+    Deadline.poll ();
     let d = Fmindex.Packed_text.hamming ~limit:k pt pp ~pos in
     if d <= k then acc := (pos, d) :: !acc
   done;
@@ -67,6 +68,7 @@ let scan_scalar ~pattern ~text ~k =
   let m = String.length pattern and n = String.length text in
   let acc = ref [] in
   for pos = n - m downto 0 do
+    Deadline.poll ();
     let d = Hamming.distance_at ~limit:k ~pattern ~text pos in
     if d <= k then acc := (pos, d) :: !acc
   done;
@@ -76,6 +78,7 @@ let scan_lce ~pattern ~text ~k =
   let t = make ~pattern ~text in
   let acc = ref [] in
   for pos = t.n - t.m downto 0 do
+    Deadline.poll ();
     match distance_at t ~pos ~k with
     | Some d -> acc := (pos, d) :: !acc
     | None -> ()

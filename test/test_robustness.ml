@@ -41,6 +41,8 @@ let error_tag = function
   | Kmm_error.Io _ -> "io"
   | Kmm_error.Bad_input _ -> "bad-input"
   | Kmm_error.Internal _ -> "internal"
+  | Kmm_error.Timeout _ -> "timeout"
+  | Kmm_error.Overloaded _ -> "overloaded"
 
 (* ------------------------------------------------------------------ *)
 (* Detection: exhaustive single-byte and single-bit corruption          *)
@@ -120,7 +122,7 @@ let test_error_messages_typed () =
 let acceptable_truncation = function
   | Kmm_error.Truncated _ | Kmm_error.Corrupt _ | Kmm_error.Bad_magic -> true
   | Kmm_error.Unsupported_version _ | Kmm_error.Io _ | Kmm_error.Bad_input _
-  | Kmm_error.Internal _ ->
+  | Kmm_error.Internal _ | Kmm_error.Timeout _ | Kmm_error.Overloaded _ ->
       false
 
 let truncation_rejected image keep =

@@ -127,11 +127,23 @@ let parse_request_frames () =
   let limits = { P.default_limits with max_pattern = 10; max_k = 3; max_frame = 128 } in
   (* the happy path, with defaults *)
   (match P.parse_request ~limits {|{"pattern":"acgt"}|} with
-  | Ok { id = J.Null; body = P.Query { pattern = "acgt"; k = 0; engine = K.M_tree } } -> ()
+  | Ok
+      {
+        id = J.Null;
+        body = P.Query { pattern = "acgt"; k = 0; engine = K.M_tree; deadline = None };
+      } ->
+      ()
   | _ -> Alcotest.fail "defaulted query frame");
   (match P.parse_request ~limits {|{"cmd":"ping","id":7}|} with
   | Ok { id = J.Int 7; body = P.Ping } -> ()
   | _ -> Alcotest.fail "ping frame");
+  (* deadline: relative seconds, int or float, strictly positive *)
+  (match P.parse_request ~limits {|{"pattern":"acgt","deadline":0.25}|} with
+  | Ok { body = P.Query { deadline = Some d; _ }; _ } when d = 0.25 -> ()
+  | _ -> Alcotest.fail "float deadline frame");
+  (match P.parse_request ~limits {|{"pattern":"acgt","deadline":3}|} with
+  | Ok { body = P.Query { deadline = Some d; _ }; _ } when d = 3.0 -> ()
+  | _ -> Alcotest.fail "int deadline frame");
   (* typed rejections, with the id recovered when possible *)
   let reject name frame check_id =
     match P.parse_request ~limits frame with
@@ -146,6 +158,10 @@ let parse_request_frames () =
   reject "unknown cmd" {|{"cmd":"evict","id":5}|} (J.equal (J.Int 5));
   reject "unknown engine" {|{"pattern":"acgt","engine":"warp"}|} (J.equal J.Null);
   reject "mistyped k" {|{"pattern":"acgt","k":"two"}|} (J.equal J.Null);
+  reject "non-positive deadline" {|{"pattern":"acgt","deadline":0}|} (J.equal J.Null);
+  reject "negative deadline" {|{"pattern":"acgt","deadline":-1.5}|} (J.equal J.Null);
+  reject "mistyped deadline" {|{"pattern":"acgt","deadline":"soon"}|}
+    (J.equal J.Null);
   (* limits *)
   Alcotest.(check bool) "pattern over max_pattern" true
     (is_bad_input (P.parse_request ~limits {|{"pattern":"acgtacgtacgt"}|}));
@@ -370,6 +386,45 @@ let server_shutdown_command () =
       done;
       Alcotest.(check bool) "stop requested over the wire" true (S.stopping t))
 
+let server_drain_answers_then_refuses () =
+  (* The SIGTERM path (request_stop is exactly what the signal handler
+     calls): queries admitted before the stop are answered, frames
+     arriving after it get typed Overloaded refusals — never a silent
+     close — and the socket file is gone once [stop] returns. *)
+  with_server (fun t path ->
+      let c = S.Client.connect path in
+      Fun.protect ~finally:(fun () -> S.Client.close c) @@ fun () ->
+      let pattern, k = List.nth queries 2 in
+      (* Admitted before the stop: answered with real hits.  The
+         round-trip also leaves the handler freshly blocked in read, so
+         the refusal frame below cannot race a drain-side close. *)
+      (match S.Client.query c ~pattern ~k () with
+      | Ok (P.Hits _) -> ()
+      | _ -> Alcotest.fail "pre-drain query must be answered");
+      S.request_stop t;
+      S.Client.send_line c (P.query_request ~id:(J.Int 99) ~pattern ~k ());
+      (match S.Client.recv_line c with
+      | Some line -> (
+          match P.parse_reply line with
+          | Ok (P.Error_reply { id = J.Int 99; code = 10; message }) ->
+              Alcotest.(check bool) "refusal says it is draining" true
+                (let needle = "shutting down" in
+                 let n = String.length message and l = String.length needle in
+                 let rec scan i =
+                   i + l <= n && (String.sub message i l = needle || scan (i + 1))
+                 in
+                 scan 0)
+          | _ -> Alcotest.fail "late frame: expected a code-10 Overloaded refusal")
+      | None -> Alcotest.fail "late frame: expected a refusal before the close");
+      (* After the refusal the connection is hung up at the frame
+         boundary... *)
+      (match S.Client.recv_line c with
+      | None -> ()
+      | Some _ -> Alcotest.fail "connection must close after the drain refusal");
+      (* ...and a full stop removes the socket file. *)
+      S.stop t;
+      Alcotest.(check bool) "socket file unlinked" false (Sys.file_exists path))
+
 (* The CI serve-bench smoke: a headless end-to-end load run on a tiny
    index with 2 connections, raising on any divergence from sequential. *)
 let bench_smoke () = Serve_bench.smoke ()
@@ -394,6 +449,8 @@ let () =
             server_client_killed_mid_response;
           Alcotest.test_case "concurrent = sequential" `Quick server_concurrent_identity;
           Alcotest.test_case "shutdown command" `Quick server_shutdown_command;
+          Alcotest.test_case "drain answers then refuses" `Quick
+            server_drain_answers_then_refuses;
           Alcotest.test_case "socket path over sun_path" `Quick server_socket_path_too_long;
         ] );
       ("bench", [ Alcotest.test_case "serve bench smoke" `Quick bench_smoke ]);
