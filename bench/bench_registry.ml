@@ -80,6 +80,20 @@ let all =
             Verify_bench.run ~obs:c.obs ?out:c.out ?size:c.size ~seed:c.seed ());
     };
     {
+      name = "engines";
+      doc =
+        "every registered k-mismatch engine head to head on planted reads, \
+         k in {0,1,2,4} x m in {32,64,128}: all engines cross-checked on a \
+         small text, the [scales] subset timed on a large one (appends to \
+         BENCH_engines.json; --size sets the large tier; --smoke replays the \
+         cross-checks only)";
+      run =
+        (fun c ->
+          if c.smoke then Engines_bench.smoke ?size:c.size ~seed:c.seed ()
+          else
+            Engines_bench.run ~obs:c.obs ?out:c.out ?size:c.size ~seed:c.seed ());
+    };
+    {
       name = "serve";
       doc =
         "kmm serve daemon: throughput and p50/p99 latency vs. concurrent \

@@ -203,16 +203,22 @@ let simulate_cmd =
 (* --- search --------------------------------------------------------- *)
 
 let engine_conv =
+  (* The accepted spellings and the error text both come from the engine
+     registry, so a newly registered engine is immediately usable on the
+     command line with no change here. *)
   let parse s =
-    match Core.Kmismatch.engine_of_string s with
-    | Some e -> Ok e
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown engine %S (expected one of: %s)" s
-               (String.concat ", " (List.map Core.Kmismatch.engine_name Core.Kmismatch.all_engines))))
+    match Core.Kmismatch.engine_of_string_err s with
+    | Ok e -> Ok e
+    | Error err -> Error (`Msg (Kmm_error.to_string err))
   in
   Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (Core.Kmismatch.engine_name e))
+
+let engine_arg =
+  let doc =
+    Printf.sprintf "Search engine; one of %s (dashes and underscores both accepted)."
+      (String.concat ", " (Core.Kmismatch.engine_names ()))
+  in
+  Arg.(value & opt engine_conv Core.Kmismatch.M_tree & info [ "engine" ] ~doc)
 
 let search_cmd =
   let run genome index_file mmap pattern k engine verbose trace metrics_out =
@@ -243,9 +249,7 @@ let search_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"PATTERN" ~doc:"Pattern (ACGT).")
   in
   let k = Arg.(value & opt int 0 & info [ "k" ] ~doc:"Mismatch budget.") in
-  let engine =
-    Arg.(value & opt engine_conv Core.Kmismatch.M_tree & info [ "engine" ] ~doc:"Engine.")
-  in
+  let engine = engine_arg in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print statistics.") in
   Cmd.v
     (Cmd.info "search" ~doc:"String matching with k mismatches")
@@ -299,9 +303,7 @@ let map_cmd =
     Arg.(required & opt (some string) None & info [ "r"; "reads" ] ~docv:"FASTA" ~doc:"Reads.")
   in
   let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Mismatch budget.") in
-  let engine =
-    Arg.(value & opt engine_conv Core.Kmismatch.M_tree & info [ "engine" ] ~doc:"Engine.")
-  in
+  let engine = engine_arg in
   let both =
     Arg.(value & opt bool true & info [ "both-strands" ] ~doc:"Search both strands.")
   in
@@ -907,9 +909,7 @@ let client_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"PATTERN" ~doc:"Pattern (ACGT).")
   in
   let k = Arg.(value & opt int 0 & info [ "k" ] ~doc:"Mismatch budget.") in
-  let engine =
-    Arg.(value & opt engine_conv Core.Kmismatch.M_tree & info [ "engine" ] ~doc:"Engine.")
-  in
+  let engine = engine_arg in
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip check.") in
   let metrics =
     Arg.(value & flag & info [ "metrics" ] ~doc:"Print the daemon's live Prometheus metrics.")

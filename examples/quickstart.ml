@@ -26,7 +26,7 @@ let () =
       Printf.printf "%-16s" (Core.Kmismatch.engine_name engine);
       List.iter (fun (pos, d) -> Printf.printf " (pos=%d, mismatches=%d)" pos d) hits;
       print_newline ())
-    Core.Kmismatch.all_engines;
+    (Core.Kmismatch.all_engines ());
 
   (* The two occurrences cover s[0..4] = acaga and s[2..6] = agaca, each
      differing from tcaca in exactly two positions — the paper's P1/P2. *)

@@ -1,26 +1,23 @@
-type engine = M_tree | S_tree | S_tree_no_delta | Hybrid | Cole | Amir | Kangaroo | Naive
+type engine = ..
 
-let all_engines = [ M_tree; S_tree; S_tree_no_delta; Hybrid; Cole; Amir; Kangaroo; Naive ]
+type engine +=
+  | M_tree
+  | S_tree
+  | S_tree_no_delta
+  | Hybrid
+  | Cole
+  | Amir
+  | Kangaroo
+  | Naive
+  | Bidir
 
-let engine_name = function
-  | M_tree -> "m-tree"
-  | S_tree -> "s-tree"
-  | S_tree_no_delta -> "s-tree-nodelta"
-  | Hybrid -> "hybrid"
-  | Cole -> "cole"
-  | Amir -> "amir"
-  | Kangaroo -> "kangaroo"
-  | Naive -> "naive"
-
-let engine_of_string s =
-  List.find_opt (fun e -> engine_name e = String.lowercase_ascii s) all_engines
-
-(* The forward text and the suffix tree are derived views: the FM-index
-   of the reversed text is the only component persisted, and an index
-   loaded by mmap should not pay O(n) string materialization up front.
-   Both memos are domain-safe ([Storage.Memo], not [Lazy.t], whose
-   concurrent forcing is undefined), so a mapper fan-out may race on the
-   first force without corruption. *)
+(* The forward text, the suffix tree and the bidirectional index are
+   derived views: the FM-index of the reversed text is the only
+   component persisted, and an index loaded by mmap should not pay O(n)
+   materialization up front.  All memos are domain-safe
+   ([Storage.Memo], not [Lazy.t], whose concurrent forcing is
+   undefined), so a mapper fan-out may race on the first force without
+   corruption. *)
 type index = {
   text : string Fmindex.Storage.Memo.t;
   fm_rev : Fmindex.Fm_index.t;
@@ -29,6 +26,9 @@ type index = {
       (* forward text, 2-bit packed: what the word-parallel verifiers
          run against.  Derived by reversing the FM component's packed
          payload — n/4 bytes, never the unpacked string. *)
+  bidir : Fmindex.Bidir.t Fmindex.Storage.Memo.t;
+      (* forward rank side paired with [fm_rev]; only the Bidir engine
+         forces it (one suffix-array build of the forward text). *)
 }
 
 let make_index ~text_memo fm_rev =
@@ -40,11 +40,21 @@ let make_index ~text_memo fm_rev =
     Fmindex.Storage.Memo.make (fun () ->
         Fmindex.Packed_text.rev (Fmindex.Fm_index.packed_text fm_rev))
   in
-  { text = text_memo; fm_rev; tree; pforward }
+  let bidir =
+    Fmindex.Storage.Memo.make (fun () ->
+        Fmindex.Bidir.make
+          ~text:(Fmindex.Storage.Memo.force text_memo)
+          ~fm_rev)
+  in
+  { text = text_memo; fm_rev; tree; pforward; bidir }
 
 let build_index ?occ_rate ?sa_rate raw =
-  let text = Dna.Sequence.to_string (Dna.Sequence.of_string raw) in
-  let rev = Dna.Sequence.to_string (Dna.Sequence.rev (Dna.Sequence.of_string text)) in
+  (* Validate and normalize exactly once; the reverse is derived from
+     the parsed sequence in place instead of being re-parsed through a
+     second string round-trip. *)
+  let seq = Dna.Sequence.of_string raw in
+  let text = Dna.Sequence.to_string seq in
+  let rev = Dna.Sequence.to_string (Dna.Sequence.rev seq) in
   make_index
     ~text_memo:(Fmindex.Storage.Memo.make (fun () -> text))
     (Fmindex.Fm_index.build ?occ_rate ?sa_rate rev)
@@ -55,6 +65,220 @@ let length t = Fmindex.Fm_index.length t.fm_rev
 let fm_rev t = t.fm_rev
 let suffix_tree t = Fmindex.Storage.Memo.force t.tree
 let packed_text t = Fmindex.Storage.Memo.force t.pforward
+let bidir t = Fmindex.Storage.Memo.force t.bidir
+
+(* ------------------------------------------------------------------ *)
+(* The engine registry                                                  *)
+
+module Engine_registry = struct
+  type caps = { online : bool; needs_tree : bool; scales : bool }
+
+  type run_args = {
+    pattern : string;
+    k : int;
+    stats : Stats.t;
+    obs : Obs.t;
+    config : M_tree.config option;
+  }
+
+  type entry = {
+    engine : engine;
+    name : string;
+    doc : string;
+    caps : caps;
+    prepare : index -> unit;
+    run : index -> run_args -> (int * int) list;
+  }
+
+  (* Registration order is presentation order everywhere (CLI help,
+     oracle subjects, benches), so the table is an append-only list. *)
+  let table : entry list ref = ref []
+
+  (* Names are compared with separators stripped and case folded, so
+     "s-tree-nodelta", "s_tree_no_delta" and "STreeNoDelta" coincide. *)
+  let normalize name =
+    String.to_seq (String.lowercase_ascii name)
+    |> Seq.filter (fun c -> c <> '-' && c <> '_')
+    |> String.of_seq
+
+  (* Nullary extension constructors are singletons, so engine values
+     compare by physical equality. *)
+  let find eng = List.find_opt (fun e -> e.engine == eng) !table
+
+  let find_name name =
+    let key = normalize name in
+    List.find_opt (fun e -> normalize e.name = key) !table
+
+  let register e =
+    if e.name = "" then invalid_arg "Engine_registry.register: empty name";
+    (match find_name e.name with
+    | Some clash ->
+        invalid_arg
+          (Printf.sprintf
+             "Engine_registry.register: name %S collides with registered %S"
+             e.name clash.name)
+    | None -> ());
+    (match find e.engine with
+    | Some clash ->
+        invalid_arg
+          (Printf.sprintf
+             "Engine_registry.register: engine already registered as %S"
+             clash.name)
+    | None -> ());
+    table := !table @ [ e ]
+
+  let all () = !table
+  let names () = List.map (fun e -> e.name) !table
+end
+
+let all_engines () =
+  List.map (fun e -> e.Engine_registry.engine) (Engine_registry.all ())
+
+let engine_name e =
+  match Engine_registry.find e with
+  | Some en -> en.Engine_registry.name
+  | None -> "unregistered-engine"
+
+let engine_names () = Engine_registry.names ()
+
+let engine_of_string s =
+  Option.map
+    (fun e -> e.Engine_registry.engine)
+    (Engine_registry.find_name s)
+
+let engine_of_string_err s =
+  match Engine_registry.find_name s with
+  | Some e -> Ok e.Engine_registry.engine
+  | None ->
+      Error
+        (Kmm_error.Bad_input
+           (Printf.sprintf "unknown engine %S (valid: %s)" s
+              (String.concat ", " (engine_names ()))))
+
+(* The built-in engines, registered in the order the closed variant
+   used to declare them (plus Bidir).  This is the single site a new
+   built-in engine touches. *)
+let () =
+  let open Engine_registry in
+  let caps ?(online = false) ?(needs_tree = false) ?(scales = true) () =
+    { online; needs_tree; scales }
+  in
+  let nothing (_ : index) = () in
+  let force_text t =
+    ignore (text t);
+    ignore (packed_text t)
+  in
+  register
+    {
+      engine = M_tree;
+      name = "m-tree";
+      doc = "the paper's Algorithm A: BWT search with mismatching-tree reuse";
+      caps = caps ();
+      prepare = nothing;
+      run =
+        (fun t a ->
+          M_tree.search ?config:a.config ~stats:a.stats ~obs:a.obs t.fm_rev
+            ~pattern:a.pattern ~k:a.k);
+    };
+  register
+    {
+      engine = S_tree;
+      name = "s-tree";
+      doc = "the BWT baseline of ref. [34] with the delta heuristic";
+      caps = caps ();
+      prepare = nothing;
+      run =
+        (fun t a ->
+          S_tree.search ~use_delta:true ~stats:a.stats ~obs:a.obs t.fm_rev
+            ~pattern:a.pattern ~k:a.k);
+    };
+  register
+    {
+      engine = S_tree_no_delta;
+      name = "s-tree-nodelta";
+      doc = "the BWT baseline without the delta heuristic";
+      caps = caps ();
+      prepare = nothing;
+      run =
+        (fun t a ->
+          S_tree.search ~use_delta:false ~stats:a.stats ~obs:a.obs t.fm_rev
+            ~pattern:a.pattern ~k:a.k);
+    };
+  register
+    {
+      engine = Hybrid;
+      name = "hybrid";
+      doc = "FM search to a unique row, then word-parallel verification";
+      caps = caps ~online:true ();
+      prepare = force_text;
+      run =
+        (fun t a ->
+          Hybrid.search ~stats:a.stats ~ptext:(packed_text t) t.fm_rev
+            ~text:(text t) ~pattern:a.pattern ~k:a.k);
+    };
+  register
+    {
+      engine = Cole;
+      name = "cole";
+      doc = "suffix-tree brute force (ref. [14])";
+      caps = caps ~needs_tree:true ~scales:false ();
+      prepare = (fun t -> ignore (suffix_tree t));
+      run =
+        (fun t a ->
+          Cole.search ~stats:a.stats (suffix_tree t) ~pattern:a.pattern ~k:a.k);
+    };
+  register
+    {
+      engine = Amir;
+      name = "amir";
+      doc = "online mark-and-verify (ref. [2])";
+      caps = caps ~online:true ~scales:false ();
+      prepare = force_text;
+      run =
+        (fun t a ->
+          Amir.search ~stats:a.stats ~ptext:(packed_text t) ~pattern:a.pattern
+            ~k:a.k (text t));
+    };
+  register
+    {
+      engine = Kangaroo;
+      name = "kangaroo";
+      doc = "online O(kn) Landau-Vishkin kangaroo jumps";
+      caps = caps ~online:true ~scales:false ();
+      prepare = force_text;
+      run =
+        (fun t a ->
+          Stringmatch.Kangaroo.search ~ptext:(packed_text t)
+            ~pattern:a.pattern ~k:a.k (text t));
+    };
+  register
+    {
+      engine = Naive;
+      name = "naive";
+      doc = "online O(mn) scanning reference";
+      caps = caps ~online:true ~scales:false ();
+      prepare = (fun t -> ignore (text t));
+      run =
+        (fun t a ->
+          Stringmatch.Hamming.search ~pattern:a.pattern ~text:(text t) ~k:a.k);
+    };
+  register
+    {
+      engine = Bidir;
+      name = "bidir";
+      doc =
+        "bidirectional FM-index executing optimum search schemes (Kianfar & \
+         Pockrandt)";
+      caps = caps ();
+      prepare =
+        (fun t ->
+          ignore (bidir t);
+          ignore (packed_text t));
+      run =
+        (fun t a ->
+          Oss.search ~stats:a.stats ~obs:a.obs ~ptext:(packed_text t)
+            (bidir t) ~pattern:a.pattern ~k:a.k);
+    }
 
 module Query = struct
   type t = {
@@ -124,9 +348,16 @@ let validate (q : Query.t) =
   | Ok "" -> Error (Kmm_error.Bad_input "Kmismatch.search: empty pattern")
   | Ok _ when q.k < 0 ->
       Error (Kmm_error.Bad_input "Kmismatch.search: negative k")
-  | Ok pattern -> Ok pattern
+  | Ok pattern -> (
+      match Engine_registry.find q.engine with
+      | Some entry -> Ok (pattern, entry)
+      | None ->
+          Error
+            (Kmm_error.Bad_input
+               "Kmismatch.search: engine is not registered"))
 
-let run_validated t (q : Query.t) ~obs ~t0 ~pattern =
+let run_validated t (q : Query.t) ~obs ~t0 ~pattern
+    ~(entry : Engine_registry.entry) =
   (* Degenerate budgets are uniform across engines: a window holds at
      most m mismatches, so k >= m answers every window position at its
      true distance.  Clamping here (and in each engine, for direct
@@ -151,7 +382,7 @@ let run_validated t (q : Query.t) ~obs ~t0 ~pattern =
     Obs.span obs "query"
       ~args:
         [
-          ("engine", engine_name q.engine);
+          ("engine", entry.Engine_registry.name);
           ("k", string_of_int k);
           ("m", string_of_int (String.length pattern));
         ]
@@ -161,21 +392,8 @@ let run_validated t (q : Query.t) ~obs ~t0 ~pattern =
            this degenerate case and used to fall through to it. *)
         if String.length pattern > length t then []
         else
-          let config = q.config and fm = t.fm_rev in
-          match q.engine with
-          | M_tree -> M_tree.search ?config ~stats ~obs fm ~pattern ~k
-          | S_tree -> S_tree.search ~use_delta:true ~stats ~obs fm ~pattern ~k
-          | S_tree_no_delta ->
-              S_tree.search ~use_delta:false ~stats ~obs fm ~pattern ~k
-          | Hybrid ->
-              Hybrid.search ~stats ~ptext:(packed_text t) fm ~text:(text t)
-                ~pattern ~k
-          | Cole -> Cole.search ~stats (suffix_tree t) ~pattern ~k
-          | Amir -> Amir.search ~stats ~ptext:(packed_text t) ~pattern ~k (text t)
-          | Kangaroo ->
-              Stringmatch.Kangaroo.search ~ptext:(packed_text t) ~pattern ~k
-                (text t)
-          | Naive -> Stringmatch.Hamming.search ~pattern ~text:(text t) ~k)
+          entry.Engine_registry.run t
+            { Engine_registry.pattern; k; stats; obs; config = q.config })
   in
   let t2 = Obs.Clock.now_ns () in
   if Obs.enabled obs then begin
@@ -210,7 +428,7 @@ let try_run t (q : Query.t) =
   let t0 = Obs.Clock.now_ns () in
   match validate q with
   | Error e -> Error e
-  | Ok pattern ->
+  | Ok (pattern, entry) ->
       if Deadline.expired q.deadline then
         (* Admission check: an already-expired budget is answered without
            touching the index at all (the server relies on this to shed
@@ -223,7 +441,7 @@ let try_run t (q : Query.t) =
            default) makes every poll a compare-and-return. *)
         match
           Deadline.with_ambient q.deadline (fun () ->
-              run_validated t q ~obs:q.obs ~t0 ~pattern)
+              run_validated t q ~obs:q.obs ~t0 ~pattern ~entry)
         with
         | r -> Ok r
         | exception Deadline.Expired ->

@@ -12,20 +12,127 @@
     - [Hybrid]: FM search to a unique row, then direct verification (an
       extension beyond the paper, in the style of practical aligners);
     - [Kangaroo]: online O(kn) Landau-Vishkin;
-    - [Naive]: online O(mn) scanning. *)
+    - [Naive]: online O(mn) scanning;
+    - [Bidir]: bidirectional FM-index executing optimum search schemes
+      (Kianfar & Pockrandt; see {!Oss}) — the state of the art at
+      [k >= 2]. *)
 
-type engine = M_tree | S_tree | S_tree_no_delta | Hybrid | Cole | Amir | Kangaroo | Naive
+type engine = ..
+(** An engine is an open enumeration: the built-in constructors below
+    ship with the library, and any module can add one with
+    [type Kmismatch.engine += Mine] plus a single
+    {!Engine_registry.register} call — that one registration makes the
+    new engine reachable from {!engine_of_string}, the [kmm --engine]
+    help text, the fuzz oracle's subject list and every dispatch site.
+    An engine value that was never registered is rejected by {!try_run}
+    as [Bad_input]. *)
 
-val all_engines : engine list
-val engine_name : engine -> string
-val engine_of_string : string -> engine option
+type engine +=
+  | M_tree
+  | S_tree
+  | S_tree_no_delta
+  | Hybrid
+  | Cole
+  | Amir
+  | Kangaroo
+  | Naive
+  | Bidir
+      (** The built-in engines, pre-registered in declaration order.
+          (Formerly the closed [type engine] variant; kept as ordinary
+          constructors so existing matches and expressions compile
+          unchanged.) *)
 
 type index
 
+(** {1 The engine registry}
+
+    One table drives everything that enumerates or dispatches engines.
+    Mirrors [Bench_registry]: an entry carries the engine value, its
+    wire/CLI name, a one-line doc string, capability flags, a
+    pre-forcing hook for the mapper's parallel fan-out, and the search
+    function itself.  {!all_engines}, {!engine_name},
+    {!engine_of_string}, the CLI's [--engine] help, the server's
+    engine parsing and the oracle's subject list are all derived views
+    of this table. *)
+module Engine_registry : sig
+  type caps = {
+    online : bool;
+        (** scans the unpacked text string (its [prepare] forces it) *)
+    needs_tree : bool;  (** requires the suffix tree (Cole) *)
+    scales : bool;
+        (** cheap enough per query to join large-text benchmark
+            campaigns (excludes the O(mn)/O(kn)-per-window references) *)
+  }
+
+  type run_args = {
+    pattern : string;  (** validated, normalized, nonempty *)
+    k : int;  (** clamped to the pattern length, nonnegative *)
+    stats : Stats.t;  (** per-query counter sink *)
+    obs : Obs.t;  (** per-query observability sink *)
+    config : M_tree.config option;  (** engine tuning; most ignore it *)
+  }
+  (** What {!Kmismatch.run} hands an engine: the validated query plus
+      the per-query sinks. *)
+
+  type entry = {
+    engine : engine;  (** the (nullary) constructor this entry answers *)
+    name : string;
+        (** wire/CLI name, lowercase with [-] separators; looked up
+            spelling-insensitively (see {!Kmismatch.engine_of_string}) *)
+    doc : string;  (** one line for [--engine] help *)
+    caps : caps;
+    prepare : index -> unit;
+        (** force the derived index components this engine reads, so a
+            parallel fan-out does not serialize on the first query *)
+    run : index -> run_args -> (int * int) list;
+        (** answer one validated query: every [(position, distance)]
+            with [distance <= k], ascending by position *)
+  }
+
+  val register : entry -> unit
+  (** Append an entry to the table.  Raises [Invalid_argument] if the
+      name (after spelling normalization) or the engine value is already
+      registered. *)
+
+  val all : unit -> entry list
+  (** Every entry, in registration order (built-ins first). *)
+
+  val find : engine -> entry option
+  val find_name : string -> entry option
+  (** Lookup by engine value / by name ([-]/[_]-insensitive, case
+      folded). *)
+
+  val names : unit -> string list
+end
+
+val all_engines : unit -> engine list
+(** Registered engines in registration order — a derived view of
+    {!Engine_registry.all}, so it includes engines registered after
+    startup. *)
+
+val engine_name : engine -> string
+(** The registry name of an engine ("m-tree", "bidir", ...);
+    ["unregistered-engine"] for a value never registered. *)
+
+val engine_of_string : string -> engine option
+(** Parse an engine name.  Case-insensitive, and [-]/[_] are
+    interchangeable (and optional): ["s-tree-nodelta"],
+    ["s_tree_no_delta"] and ["STreeNoDelta"] all name [S_tree_no_delta]. *)
+
+val engine_of_string_err : string -> (engine, Kmm_error.t) result
+(** {!engine_of_string} with a typed rejection: an unknown name comes
+    back as [Error (Bad_input _)] whose message lists every valid
+    registry name. *)
+
+val engine_names : unit -> string list
+(** The registered names, registration order ({!Engine_registry.names}). *)
+
 val build_index : ?occ_rate:int -> ?sa_rate:int -> string -> index
-(** Build the shared index of a target text (lowercase [acgt]; validated).
-    The FM-index of the reversed text is built eagerly; the suffix tree
-    (used only by [Cole]) lazily. *)
+(** Build the shared index of a target text (lowercase [acgt]; validated
+    and normalized exactly once — the reverse is derived from the parsed
+    sequence, not re-parsed).  The FM-index of the reversed text is built
+    eagerly; the suffix tree (used only by [Cole]) and the bidirectional
+    index (used only by [Bidir]) lazily. *)
 
 val of_sequence : Dna.Sequence.t -> index
 
@@ -50,6 +157,11 @@ val packed_text : index -> Fmindex.Packed_text.t
     ({!Fmindex.Packed_text.hamming_le}) run against.  Derived on first
     use by reversing the FM component's packed payload (n/4 bytes, no
     string round-trip) and cached behind a domain-safe memo. *)
+
+val bidir : index -> Fmindex.Bidir.t
+(** The bidirectional index (forward rank side paired with the shared
+    reverse FM component), built on first use behind a domain-safe memo.
+    Only the [Bidir] engine forces it. *)
 
 val flush_verify : Obs.t -> Fmindex.Packed_text.Telemetry.counters -> unit
 (** Record a verification-telemetry delta as [verify.calls] /
@@ -114,7 +226,8 @@ end
 
 val try_run : index -> Query.t -> (Response.t, Kmm_error.t) result
 (** Execute one query, reporting validation failures as values: an
-    empty pattern, a non-ACGT character, or [k < 0] comes back as
+    empty pattern, a non-ACGT character, [k < 0], or an engine value
+    that was never registered comes back as
     [Error (Kmm_error.Bad_input _)] (message identical to the
     [Invalid_argument] that {!run} would raise) instead of an exception.
     This is the entry point for long-running callers — the [kmm serve]

@@ -66,17 +66,13 @@ let target_of_index index =
         Printf.sprintf "read of %d bp exceeds the %d bp reference" m len);
     tgt_prepare =
       (fun engine ->
-        (* The memos under the text, the suffix tree and the packed
-           forward text are domain-safe, but forcing the ones the run
-           needs before fan-out keeps the workers from serializing on
-           the first force. *)
-        (match engine with
-        | Kmismatch.Cole -> ignore (Kmismatch.suffix_tree index)
-        | Kmismatch.Hybrid | Kmismatch.Amir | Kmismatch.Kangaroo
-        | Kmismatch.Naive ->
-            ignore (Kmismatch.text index)
-        | Kmismatch.M_tree | Kmismatch.S_tree | Kmismatch.S_tree_no_delta ->
-            ());
+        (* The memos under the derived index components are domain-safe,
+           but forcing the ones the run needs before fan-out keeps the
+           workers from serializing on the first force.  Each registry
+           entry knows what its engine reads. *)
+        (match Kmismatch.Engine_registry.find engine with
+        | Some entry -> entry.Kmismatch.Engine_registry.prepare index
+        | None -> ());
         (* Hit re-checking runs the packed kernel for every engine. *)
         ignore (Kmismatch.packed_text index));
     tgt_run = (fun q -> Kmismatch.try_run index q);

@@ -165,13 +165,35 @@ let packed_verify =
         end);
   }
 
+(* The bidirectional engine rebuilt from the case's raw text (rather
+   than the shared index): covers [Bidir.make] over arbitrary fuzz
+   texts plus the full scheme executor, diffed against naive like every
+   other subject. *)
+let bidir_find_all =
+  {
+    sub_name = "bidir-find-all";
+    run =
+      (fun _ c ->
+        let rev =
+          String.init (String.length c.text) (fun i ->
+              c.text.[String.length c.text - 1 - i])
+        in
+        let bd =
+          Fmindex.Bidir.make ~text:c.text
+            ~fm_rev:(Fmindex.Fm_index.build rev)
+        in
+        let ptext = Fmindex.Packed_text.of_string c.text in
+        Some (Oss.search ~ptext bd ~pattern:c.pattern ~k:c.k));
+  }
+
 let default_subjects () =
-  List.map engine_subject Kmismatch.all_engines
+  List.map engine_subject (Kmismatch.all_engines ())
   @ [
       kangaroo_direct;
       shift_add;
       packed_verify;
       fm_packed_find_all;
+      bidir_find_all;
       fm_save_roundtrip;
       fm_v3_corruption;
     ]

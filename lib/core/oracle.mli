@@ -55,13 +55,18 @@ type subject = {
 }
 
 val default_subjects : unit -> subject list
-(** The eight {!Kmismatch.all_engines} plus two index-free baselines —
+(** Every engine of {!Kmismatch.all_engines} (a registry snapshot, so
+    engines registered after startup join automatically) plus two
+    index-free baselines —
     the online Kangaroo matcher and (when [Shift_or.fits]) the
     bit-parallel Shift-Add automaton — a [packed-verify] subject that
     answers every case by scanning all windows with the word-parallel
-    kernel ({!Fmindex.Packed_text.hamming_le}), plus three
+    kernel ({!Fmindex.Packed_text.hamming_le}), plus four
     packed-FM-index subjects: a forward-index [find_all] check on
-    [k = 0] cases, a save/load roundtrip (current on-disk format)
+    [k = 0] cases, a [bidir-find-all] subject that rebuilds the
+    bidirectional index from the case's raw text and runs the optimum
+    search schemes executor ({!Oss.search}) on every budget, a
+    save/load roundtrip (current on-disk format)
     queried through the M-tree engine, and an [fm-v3-corruption]
     subject that serializes the index and verifies that each of a
     pseudo-random battery of image corruptions (bit flips, truncations,

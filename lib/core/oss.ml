@@ -1,0 +1,317 @@
+(* Optimum-search-schemes engine over the bidirectional FM-index.  See
+   oss.mli for the scheme/completeness vocabulary and DESIGN.md
+   "Bidirectional index and optimum search schemes" for the cost model. *)
+
+module Bidir = Fmindex.Bidir
+module Packed_text = Fmindex.Packed_text
+
+module Scheme = struct
+  type search = { pi : int array; lower : int array; upper : int array }
+
+  let pieces ~k =
+    if k < 0 then invalid_arg "Oss.Scheme.pieces: negative k";
+    k + 1
+
+  (* The generic leftmost-zero-piece family: search i processes pieces
+     i, i+1, ..., p rightwards then i-1, ..., 1 leftwards.  Piece i is
+     exact (U_1 = 0); while still inside the right run at most
+     k - (i - 1) mismatches may be spent, because the searches to its
+     left are reserved for distributions whose pieces 1..i-1 all carry
+     at least one error (the cumulative L ramp on the left run).  An
+     occurrence with sum <= k < p has a zero piece; the search of its
+     leftmost zero piece admits it, so the family is complete for every
+     k with p = k + 1 pieces. *)
+  let generic ~k ~i =
+    let p = pieces ~k in
+    if i < 1 || i > p then invalid_arg "Oss.Scheme.generic: piece out of range";
+    let right_run = p - i + 1 in
+    let pi =
+      Array.init p (fun t ->
+          if t < right_run then i + t else i - 1 - (t - right_run))
+    in
+    let upper =
+      Array.init p (fun t ->
+          if t = 0 then 0 else if t < right_run then k - i + 1 else k)
+    in
+    let lower =
+      Array.init p (fun t -> if t < right_run then 0 else t + 1 - right_run)
+    in
+    { pi; lower; upper }
+
+  (* Precomputed tables for the budgets the CLI meets in practice,
+     materialized so a regression in the generator cannot silently
+     change the executed schemes; the completeness test enumerates every
+     distribution against exactly these literals. *)
+  let table_k1 =
+    [
+      { pi = [| 1; 2 |]; lower = [| 0; 0 |]; upper = [| 0; 1 |] };
+      { pi = [| 2; 1 |]; lower = [| 0; 1 |]; upper = [| 0; 1 |] };
+    ]
+
+  let table_k2 =
+    [
+      { pi = [| 1; 2; 3 |]; lower = [| 0; 0; 0 |]; upper = [| 0; 2; 2 |] };
+      { pi = [| 2; 3; 1 |]; lower = [| 0; 0; 1 |]; upper = [| 0; 1; 2 |] };
+      { pi = [| 3; 2; 1 |]; lower = [| 0; 1; 2 |]; upper = [| 0; 2; 2 |] };
+    ]
+
+  let table_k3 =
+    [
+      {
+        pi = [| 1; 2; 3; 4 |];
+        lower = [| 0; 0; 0; 0 |];
+        upper = [| 0; 3; 3; 3 |];
+      };
+      {
+        pi = [| 2; 3; 4; 1 |];
+        lower = [| 0; 0; 0; 1 |];
+        upper = [| 0; 2; 2; 3 |];
+      };
+      {
+        pi = [| 3; 4; 2; 1 |];
+        lower = [| 0; 0; 1; 2 |];
+        upper = [| 0; 1; 3; 3 |];
+      };
+      {
+        pi = [| 4; 3; 2; 1 |];
+        lower = [| 0; 1; 2; 3 |];
+        upper = [| 0; 3; 3; 3 |];
+      };
+    ]
+
+  let table_k4 =
+    [
+      {
+        pi = [| 1; 2; 3; 4; 5 |];
+        lower = [| 0; 0; 0; 0; 0 |];
+        upper = [| 0; 4; 4; 4; 4 |];
+      };
+      {
+        pi = [| 2; 3; 4; 5; 1 |];
+        lower = [| 0; 0; 0; 0; 1 |];
+        upper = [| 0; 3; 3; 3; 4 |];
+      };
+      {
+        pi = [| 3; 4; 5; 2; 1 |];
+        lower = [| 0; 0; 0; 1; 2 |];
+        upper = [| 0; 2; 2; 4; 4 |];
+      };
+      {
+        pi = [| 4; 5; 3; 2; 1 |];
+        lower = [| 0; 0; 1; 2; 3 |];
+        upper = [| 0; 1; 4; 4; 4 |];
+      };
+      {
+        pi = [| 5; 4; 3; 2; 1 |];
+        lower = [| 0; 1; 2; 3; 4 |];
+        upper = [| 0; 4; 4; 4; 4 |];
+      };
+    ]
+
+  let for_k ~k =
+    match k with
+    | _ when k < 0 -> invalid_arg "Oss.Scheme.for_k: negative k"
+    | 0 -> [ generic ~k:0 ~i:1 ]
+    | 1 -> table_k1
+    | 2 -> table_k2
+    | 3 -> table_k3
+    | 4 -> table_k4
+    | _ -> List.init (pieces ~k) (fun i -> generic ~k ~i:(i + 1))
+
+  let covers s a =
+    let p = Array.length s.pi in
+    if Array.length a <> p then false
+    else begin
+      let ok = ref true in
+      let sum = ref 0 in
+      for t = 0 to p - 1 do
+        sum := !sum + a.(s.pi.(t) - 1);
+        if !sum < s.lower.(t) || !sum > s.upper.(t) then ok := false
+      done;
+      !ok
+    end
+
+  let complete ~k =
+    let p = pieces ~k in
+    let searches = for_k ~k in
+    let a = Array.make p 0 in
+    (* Enumerate every distribution with sum <= k; each must be admitted
+       by at least one search. *)
+    let rec every t budget =
+      if t = p then List.exists (fun s -> covers s a) searches
+      else begin
+        let ok = ref true in
+        for v = 0 to budget do
+          a.(t) <- v;
+          if not (every (t + 1) (budget - v)) then ok := false
+        done;
+        a.(t) <- 0;
+        !ok
+      end
+    in
+    every 0 k
+
+  let valid_search ~k ~p s =
+    Array.length s.pi = p
+    && Array.length s.lower = p
+    && Array.length s.upper = p
+    && (let seen = Array.make (p + 1) false in
+        Array.for_all
+          (fun x ->
+            x >= 1 && x <= p && not seen.(x) && (seen.(x) <- true; true))
+          s.pi)
+    && (let lo = ref s.pi.(0) and hi = ref s.pi.(0) in
+        Array.for_all
+          (fun x ->
+            (* each next piece adjacent to the processed span *)
+            if x = !lo - 1 then (lo := x; true)
+            else if x = !hi + 1 then (hi := x; true)
+            else x = !lo && x = !hi)
+          s.pi)
+    && (let mono = ref true in
+        for t = 0 to p - 1 do
+          if s.lower.(t) > s.upper.(t) || s.upper.(t) > k || s.lower.(t) < 0
+          then mono := false;
+          if t > 0 && (s.lower.(t) < s.lower.(t - 1) || s.upper.(t) < s.upper.(t - 1))
+          then mono := false
+        done;
+        !mono)
+
+  let valid ~k =
+    let p = pieces ~k in
+    List.for_all (valid_search ~k ~p) (for_k ~k)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Executor                                                            *)
+
+(* Candidate-verification cutoff: once an interval pair narrows to this
+   many rows, locating the candidates and running the word-parallel
+   Hamming kernel over the whole window beats continued 4-way
+   branching — two SA walks plus ceil(m/28) word ops versus up to
+   4 * (remaining characters) rank passes (the Giaquinta et al. packed
+   cost model; same regime Hybrid switches in). *)
+let verify_cutoff = 2
+
+let search ?stats ?(obs = Obs.noop) ~ptext bidir ~pattern ~k =
+  if pattern = "" then invalid_arg "Oss.search: empty pattern";
+  if k < 0 then invalid_arg "Oss.search: negative k";
+  String.iter
+    (fun c ->
+      if not (Dna.Alphabet.is_base c && c = Dna.Alphabet.normalize c) then
+        invalid_arg "Oss.search: pattern must be lowercase acgt")
+    pattern;
+  let m = String.length pattern in
+  let k = min k m in
+  let n = Bidir.length bidir in
+  if Packed_text.length ptext <> n then
+    invalid_arg "Oss.search: packed text and index lengths differ";
+  let bump (f : Stats.t -> unit) = match stats with Some s -> f s | None -> () in
+  if m > n then []
+  else begin
+    let pp = Packed_text.Pattern.make pattern in
+    if k >= m then begin
+      (* Every window is within budget at its true distance; no scheme
+         can partition the pattern into k + 1 nonempty pieces. *)
+      let out = ref [] in
+      for w = n - m downto 0 do
+        out := (w, Packed_text.hamming ptext pp ~pos:w) :: !out
+      done;
+      !out
+    end
+    else begin
+      let p = Scheme.pieces ~k in
+      let bounds = Array.make (p + 1) 0 in
+      let base = m / p and rem = m mod p in
+      for t = 1 to p do
+        bounds.(t) <- bounds.(t - 1) + base + (if t <= rem then 1 else 0)
+      done;
+      let code = Array.init m (fun i -> Dna.Alphabet.code pattern.[i]) in
+      let searches = Scheme.for_k ~k in
+      let hits : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let add_hit w d = if not (Hashtbl.mem hits w) then Hashtbl.add hits w d in
+      let extends = ref 0 and verifications = ref 0 in
+      let locate_buf = ref [||] in
+      let buf_for st =
+        let cnt = Bidir.width st in
+        if Array.length !locate_buf < cnt then locate_buf := Array.make cnt 0;
+        !locate_buf
+      in
+      (* Whole pattern matched through the index: the located forward
+         positions are the window starts, [e] the exact distance. *)
+      let finish st e =
+        bump (fun s -> s.leaves <- s.leaves + 1);
+        let buf = buf_for st in
+        Bidir.locate_into bidir st buf;
+        for idx = 0 to Bidir.width st - 1 do
+          add_hit (Array.unsafe_get buf idx) e
+        done
+      in
+      (* Narrow interval mid-search: leave the index, verify the full
+         window word-parallel.  [i] is the pattern offset of the matched
+         span's left edge, so the window starts [i] characters before
+         the located occurrence. *)
+      let verify st i =
+        incr verifications;
+        bump (fun s -> s.leaves <- s.leaves + 1);
+        let buf = buf_for st in
+        Bidir.locate_into bidir st buf;
+        for idx = 0 to Bidir.width st - 1 do
+          let w = Array.unsafe_get buf idx - i in
+          if w >= 0 && w + m <= n then begin
+            let d = Packed_text.hamming ~limit:k ptext pp ~pos:w in
+            if d <= k then add_hit w d
+          end
+        done
+      in
+      let run_search (sch : Scheme.search) =
+        (* [enter t st e i j]: pieces of order positions < t are matched
+           as span [i, j) with [e] mismatches; [step] consumes the
+           current piece one character at a time, branching over the
+           four bases from one rank-all pass per side. *)
+        let rec enter t st e i j =
+          if t = p then finish st e
+          else begin
+            let idx = sch.pi.(t) - 1 in
+            let plo = bounds.(idx) and phi = bounds.(idx + 1) in
+            step t st e i j ~right:(plo >= j) ~plo ~phi
+          end
+        and step t st e i j ~right ~plo ~phi =
+          Deadline.poll ();
+          if st.Bidir.len > 0 && st.Bidir.len < m && Bidir.width st <= verify_cutoff
+          then verify st i
+          else if (if right then j = phi else i = plo) then begin
+            if e >= sch.lower.(t) then enter (t + 1) st e i j
+            else bump (fun s -> s.leaves <- s.leaves + 1)
+          end
+          else begin
+            let cur = Bidir.cursor () in
+            incr extends;
+            bump (fun s -> s.rank_calls <- s.rank_calls + 2);
+            let pc = if right then code.(j) else code.(i - 1) in
+            if right then Bidir.extend_right_all bidir st cur
+            else Bidir.extend_left_all bidir st cur;
+            for c = 1 to 4 do
+              match Bidir.child cur st c with
+              | None -> ()
+              | Some st' ->
+                  let e' = if c = pc then e else e + 1 in
+                  if e' <= sch.upper.(t) then begin
+                    bump (fun s -> s.nodes <- s.nodes + 1);
+                    if right then step t st' e' i (j + 1) ~right ~plo ~phi
+                    else step t st' e' (i - 1) j ~right ~plo ~phi
+                  end
+            done
+          end
+        in
+        let p0 = bounds.(sch.pi.(0) - 1) in
+        enter 0 (Bidir.start bidir) 0 p0 p0
+      in
+      Obs.span obs "bidir.explore" (fun () -> List.iter run_search searches);
+      Obs.add obs "bidir.extends" !extends;
+      Obs.add obs "bidir.verifications" !verifications;
+      Obs.add obs "bidir.searches" (List.length searches);
+      let out = Hashtbl.fold (fun w d acc -> (w, d) :: acc) hits [] in
+      List.sort (fun (a, _) (b, _) -> compare a b) out
+    end
+  end

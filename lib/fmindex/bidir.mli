@@ -1,0 +1,107 @@
+(** Bidirectional FM-index: synchronized forward and reverse SA-intervals
+    over one 2-bit packed payload pair.
+
+    A unidirectional FM-index extends a match in one direction only (the
+    paper's [search()] prepends characters).  The bidirectional index of
+    Lam et al. keeps {e two} intervals in lockstep for the matched
+    substring α of the text [s]:
+
+    - the {e forward} interval: rows of the BWT matrix of [s ^ "$"] whose
+      suffix starts with α;
+    - the {e reverse} interval: rows of the BWT matrix of [rev s ^ "$"]
+      whose suffix starts with [rev α].
+
+    Both intervals always have the same width (each counts the
+    occurrences of α in [s]), and either can be updated after an
+    extension of α on {e either} side from one rank-all pass:
+    prepending a character narrows the forward interval by a classic
+    backward step over [BWT(s)], and the reverse interval is re-derived
+    from the per-character occurrence counts of that same pass, because
+    inside the reverse interval rows are grouped by the character that
+    {e follows} [rev α] — in code order, sentinel first.  Appending is
+    the mirror image through [BWT(rev s)].
+
+    This is the primitive under optimum search schemes ({!Core.Oss}
+    executes them): a pattern piece in the middle can be matched first
+    and then grown to the left and right in any order, which is what
+    lets a scheme force early exact pieces and prune mismatch branching
+    far earlier than any unidirectional walk.
+
+    The reverse side reuses the index the rest of the system already
+    has — {!Fm_index.t} of the reversed text, SA samples included, so
+    candidate occurrences are located through the existing sampled-SA
+    walk.  The forward side is rank-only (an {!Occ} over [BWT(s)] plus
+    its C array): it never locates, so it carries no SA samples. *)
+
+type t
+
+val make : text:string -> fm_rev:Fm_index.t -> t
+(** [make ~text ~fm_rev] builds the forward rank side over [text]
+    (lowercase [acgt]) and pairs it with [fm_rev], the existing index of
+    the {e reversed} text.  Raises [Invalid_argument] if [text] is not
+    lowercase ACGT or the lengths disagree.  Cost: one suffix-array
+    construction of [text] plus the interleaved rank blocks (~0.6
+    bytes/base); the reverse side is shared, not copied. *)
+
+val length : t -> int
+(** Length of the indexed text. *)
+
+val fm_rev : t -> Fm_index.t
+(** The shared reverse-text index (the locate-capable side). *)
+
+type state = {
+  f_lo : int;
+  f_hi : int;  (** forward interval [f_lo, f_hi): rows of suffixes of [s]
+                   starting with the matched substring α *)
+  r_lo : int;
+  r_hi : int;  (** reverse interval: rows of suffixes of [rev s] starting
+                   with [rev α]; always the same width as the forward one *)
+  len : int;  (** |α|: characters matched so far *)
+}
+(** A synchronized interval pair.  Nonempty iff [f_lo < f_hi]. *)
+
+val start : t -> state
+(** The empty match: both intervals cover every row, [len = 0]. *)
+
+val width : state -> int
+(** Number of occurrences of the matched substring ([f_hi - f_lo]). *)
+
+(** {1 Extension}
+
+    The rank-all form mirrors {!Fm_index.extend_all}: one call derives
+    the child states of all four bases at once from a single rank-all
+    pass per side, into caller-owned scratch. *)
+
+type cursor
+(** Scratch holding the four children of one extension step. *)
+
+val cursor : unit -> cursor
+
+val extend_left_all : t -> state -> cursor -> unit
+(** Fill the cursor with the children of prepending each base to α
+    (one rank-all pair over [BWT(s)]). *)
+
+val extend_right_all : t -> state -> cursor -> unit
+(** Fill the cursor with the children of appending each base to α
+    (one rank-all pair over [BWT(rev s)], through the shared
+    {!Fm_index.extend_all} — its telemetry counts these). *)
+
+val child : cursor -> state -> int -> state option
+(** [child cur parent c] is the child state for base code [c]
+    ({!Dna.Alphabet} codes 1..4) from the last [extend_*_all] on [cur],
+    or [None] when that extension is empty.  Raises [Invalid_argument]
+    on a code outside 1..4. *)
+
+val extend_left : t -> int -> state -> state option
+(** One-character convenience over {!extend_left_all} (allocates a
+    cursor; the executors keep their own). *)
+
+val extend_right : t -> int -> state -> state option
+
+val locate_into : t -> state -> int array -> unit
+(** [locate_into t st dst] writes the {e forward} text position of the
+    matched substring's occurrence for each row of the reverse interval:
+    [dst.(i)] is the start of α in [s] for row [r_lo + i], unsorted.
+    Resolved through the reverse side's sampled SA ([pos = n - p_rev -
+    len]).  Raises [Invalid_argument] if [dst] is shorter than the
+    interval width. *)

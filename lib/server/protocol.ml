@@ -308,8 +308,6 @@ type request = { id : Json.t; body : body }
 
 let bad fmt = Printf.ksprintf (fun m -> Kmm_error.Bad_input m) fmt
 
-let engine_names () =
-  String.concat ", " (List.map Core.Kmismatch.engine_name Core.Kmismatch.all_engines)
 
 let parse_request ~limits line =
   if String.length line > limits.max_frame then
@@ -391,18 +389,19 @@ let parse_request ~limits line =
                                       };
                                 }
                           | Some (Json.String name) -> (
-                              match Core.Kmismatch.engine_of_string name with
-                              | Some engine ->
+                              (* Typed rejection straight from the
+                                 registry: the message lists every
+                                 valid name, and [-]/[_] spellings are
+                                 both accepted. *)
+                              match Core.Kmismatch.engine_of_string_err name with
+                              | Ok engine ->
                                   Ok
                                     {
                                       id;
                                       body =
                                         Query { pattern; k; engine; deadline };
                                     }
-                              | None ->
-                                  reject
-                                    (bad "unknown engine %S (expected one of: %s)"
-                                       name (engine_names ())))
+                              | Error e -> reject e)
                           | Some _ -> reject (bad "\"engine\" must be a string"))))
             | Some _ -> reject (bad "\"pattern\" must be a string"))
         | Ok other ->

@@ -1,0 +1,337 @@
+(* Bidirectional index, optimum search schemes, and the engine registry.
+
+   - Scheme tables: structural validity and exhaustive completeness for
+     every k <= 4 (every mismatch distribution with sum <= k admitted by
+     some search), plus the generic pigeonhole family at k = 5, 6.
+   - The bidirectional extension invariant (QCheck): growing a pattern
+     from a random split point in a random left/right interleaving lands
+     on exactly the intervals two independent unidirectional FM searches
+     compute, and locates exactly the naive occurrence positions.
+   - The Bidir engine agrees with the naive scan on random cases.
+   - build_index parses its input exactly once: the indexed text is the
+     normalized input byte for byte, and the reverse component is its
+     exact mirror (regression for the double Dna.Sequence round-trip).
+   - Registry-derived parsing: spelling-insensitive engine_of_string,
+     typed engine_of_string_err rejection listing every valid name.
+   - Extending the engine enum: one register call makes a stub engine
+     reachable from all_engines, engine_of_string, engine_names and the
+     fuzz oracle's subject list, and runnable through Kmismatch.run.
+   - The engines bench cross-check smoke (kmm bench engines --smoke). *)
+
+open Core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let hits_t = Alcotest.(list (pair int int))
+
+(* ------------------------------------------------------------------ *)
+(* Scheme tables                                                       *)
+
+let test_schemes_complete () =
+  for k = 0 to 4 do
+    check bool (Printf.sprintf "valid k=%d" k) true (Oss.Scheme.valid ~k);
+    check bool (Printf.sprintf "complete k=%d" k) true (Oss.Scheme.complete ~k)
+  done
+
+let test_generic_family () =
+  (* k >= 5 falls back to the generic family; keep the exhaustive check
+     to the sizes where enumeration stays cheap. *)
+  List.iter
+    (fun k ->
+      check bool (Printf.sprintf "generic valid k=%d" k) true (Oss.Scheme.valid ~k);
+      check bool
+        (Printf.sprintf "generic complete k=%d" k)
+        true (Oss.Scheme.complete ~k))
+    [ 5; 6 ]
+
+let test_scheme_exact_start () =
+  (* Every search opens with an exact piece — the property the engine's
+     early pruning relies on. *)
+  for k = 0 to 6 do
+    List.iter
+      (fun s -> check int "U.(0) = 0" 0 s.Oss.Scheme.upper.(0))
+      (Oss.Scheme.for_k ~k)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bidirectional extension == two unidirectional FM searches            *)
+
+let rev_string s =
+  String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+
+let naive_positions text pattern =
+  let n = String.length text and m = String.length pattern in
+  let out = ref [] in
+  for i = n - m downto 0 do
+    if String.sub text i m = pattern then out := i :: !out
+  done;
+  !out
+
+let prop_bidir_matches_unidirectional =
+  Test_util.qtest ~count:300 "bidir extension = fwd/rev FM searches"
+    QCheck2.Gen.(
+      triple
+        (Test_util.dna_gen ~lo:1 ~hi:80 ())
+        (Test_util.dna_gen ~lo:1 ~hi:12 ())
+        (pair small_nat (int_bound 1000)))
+    (fun (text, pattern, (split, seed)) ->
+      let m = String.length pattern in
+      let split = split mod (m + 1) in
+      let st = Random.State.make [| seed |] in
+      let fm_fwd = Fmindex.Fm_index.build text in
+      let fm_rev = Fmindex.Fm_index.build (rev_string text) in
+      let bd = Fmindex.Bidir.make ~text ~fm_rev in
+      (* Grow pattern.[split-1 .. 0] leftward and pattern.[split .. m-1]
+         rightward, interleaved at random. *)
+      let l = ref split and r = ref split in
+      let state = ref (Some (Fmindex.Bidir.start bd)) in
+      while !state <> None && (!l > 0 || !r < m) do
+        let go_left =
+          !l > 0 && (!r >= m || Random.State.bool st)
+        in
+        match !state with
+        | None -> ()
+        | Some s ->
+            if go_left then begin
+              decr l;
+              state :=
+                Fmindex.Bidir.extend_left bd (Dna.Alphabet.code pattern.[!l]) s
+            end
+            else begin
+              state :=
+                Fmindex.Bidir.extend_right bd (Dna.Alphabet.code pattern.[!r]) s;
+              incr r
+            end
+      done;
+      let expected_fwd = Fmindex.Fm_index.search fm_fwd pattern in
+      let expected_rev = Fmindex.Fm_index.search fm_rev (rev_string pattern) in
+      match !state with
+      | None ->
+          (* Some prefix of the interleaving died: the full pattern must
+             be absent from the text. *)
+          naive_positions text pattern = []
+      | Some s ->
+          s.Fmindex.Bidir.len = m
+          && expected_fwd = Some (s.Fmindex.Bidir.f_lo, s.Fmindex.Bidir.f_hi)
+          && expected_rev = Some (s.Fmindex.Bidir.r_lo, s.Fmindex.Bidir.r_hi)
+          &&
+          let w = Fmindex.Bidir.width s in
+          let dst = Array.make w 0 in
+          Fmindex.Bidir.locate_into bd s dst;
+          List.sort compare (Array.to_list dst) = naive_positions text pattern)
+
+(* ------------------------------------------------------------------ *)
+(* Oss.search vs the naive reference                                   *)
+
+let naive_hits text pattern k =
+  let n = String.length text and m = String.length pattern in
+  let out = ref [] in
+  for i = n - m downto 0 do
+    let d = ref 0 in
+    for j = 0 to m - 1 do
+      if text.[i + j] <> pattern.[j] then incr d
+    done;
+    if !d <= k then out := (i, !d) :: !out
+  done;
+  !out
+
+let prop_oss_matches_naive =
+  Test_util.qtest ~count:300 "Oss.search = naive scan"
+    QCheck2.Gen.(
+      triple
+        (Test_util.dna_gen ~lo:0 ~hi:120 ())
+        (Test_util.dna_gen ~lo:1 ~hi:16 ())
+        (int_bound 5))
+    (fun (text, pattern, k) ->
+      if text = "" then true
+      else
+        let bd =
+          Fmindex.Bidir.make ~text
+            ~fm_rev:(Fmindex.Fm_index.build (rev_string text))
+        in
+        let got =
+          Oss.search
+            ~ptext:(Fmindex.Packed_text.of_string text)
+            bd ~pattern ~k
+        in
+        got = naive_hits text pattern k)
+
+let test_bidir_engine_agrees () =
+  let idx = Kmismatch.build_index "acagacagacttgacagacatt" in
+  List.iter
+    (fun (pattern, k) ->
+      check hits_t
+        (Printf.sprintf "bidir %s k=%d" pattern k)
+        (Kmismatch.search idx ~engine:Kmismatch.Naive ~pattern ~k)
+        (Kmismatch.search idx ~engine:Kmismatch.Bidir ~pattern ~k))
+    [
+      ("acaga", 0);
+      ("acaga", 1);
+      ("acaga", 2);
+      ("gacag", 3);
+      ("tt", 1);
+      ("acagacagacttgacagacatt", 4);
+      ("acagacagacttgacagacattacgt", 2);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* build_index normalizes exactly once                                 *)
+
+let test_build_index_normalization () =
+  let raw = "AcGtACgTacgTGGcca" in
+  let idx = Kmismatch.build_index raw in
+  let expected = String.lowercase_ascii raw in
+  check Alcotest.string "text is the input, normalized, byte for byte"
+    expected (Kmismatch.text idx);
+  (* The reverse component really indexes the mirror of that same
+     string: exact occurrences of a reversed probe through fm_rev are
+     the mirrored occurrences of the probe in the forward text. *)
+  let probe = "acgt" in
+  let m = String.length probe in
+  let n = String.length expected in
+  let via_rev =
+    match Fmindex.Fm_index.search (Kmismatch.fm_rev idx) (rev_string probe) with
+    | None -> []
+    | Some iv ->
+        List.sort compare
+          (List.map
+             (fun p -> n - p - m)
+             (Fmindex.Fm_index.locate (Kmismatch.fm_rev idx) iv))
+  in
+  check Alcotest.(list int) "reverse component mirrors the text" via_rev
+    (naive_positions expected probe)
+
+(* ------------------------------------------------------------------ *)
+(* Registry-derived parsing                                            *)
+
+let test_engine_spellings () =
+  let e =
+    Alcotest.testable
+      (fun ppf e -> Format.pp_print_string ppf (Kmismatch.engine_name e))
+      ( == )
+  in
+  List.iter
+    (fun (s, expected) ->
+      check (Alcotest.option e) s (Some expected) (Kmismatch.engine_of_string s))
+    [
+      ("bidir", Kmismatch.Bidir);
+      ("m-tree", Kmismatch.M_tree);
+      ("m_tree", Kmismatch.M_tree);
+      ("MTree", Kmismatch.M_tree);
+      ("s-tree-nodelta", Kmismatch.S_tree_no_delta);
+      ("s_tree_no_delta", Kmismatch.S_tree_no_delta);
+      ("S-Tree-No-Delta", Kmismatch.S_tree_no_delta);
+      ("KANGAROO", Kmismatch.Kangaroo);
+    ];
+  check bool "unknown rejected" true (Kmismatch.engine_of_string "warp" = None)
+
+let test_engine_of_string_err () =
+  match Kmismatch.engine_of_string_err "warp" with
+  | Ok _ -> Alcotest.fail "unknown engine accepted"
+  | Error (Kmm_error.Bad_input msg) ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun name ->
+          check bool (Printf.sprintf "message lists %S" name) true
+            (contains msg name))
+        (Kmismatch.engine_names ())
+  | Error e ->
+      Alcotest.failf "wrong error class: %s" (Kmm_error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* One registration reaches every derived view                         *)
+
+type Kmismatch.engine += Stub
+
+let test_stub_engine_registration () =
+  let naive =
+    match Kmismatch.Engine_registry.find_name "naive" with
+    | Some e -> e
+    | None -> Alcotest.fail "naive not registered"
+  in
+  Kmismatch.Engine_registry.register
+    {
+      Kmismatch.Engine_registry.engine = Stub;
+      name = "stub-demo";
+      doc = "test double: delegates to the naive scan";
+      caps = naive.Kmismatch.Engine_registry.caps;
+      prepare = (fun _ -> ());
+      run = naive.Kmismatch.Engine_registry.run;
+    };
+  (* ... and the single registration is visible everywhere at once. *)
+  check bool "in all_engines" true
+    (List.exists (fun e -> e == Stub) (Kmismatch.all_engines ()));
+  check bool "parsed by engine_of_string" true
+    (Kmismatch.engine_of_string "STUB_DEMO" = Some Stub);
+  check Alcotest.string "named" "stub-demo" (Kmismatch.engine_name Stub);
+  check bool "in engine_names (CLI help source)" true
+    (List.mem "stub-demo" (Kmismatch.engine_names ()));
+  check bool "in the oracle subject list" true
+    (List.exists
+       (fun s -> s.Oracle.sub_name = "stub-demo")
+       (Oracle.default_subjects ()));
+  (* Runnable through the standard dispatch, answers like any engine. *)
+  let idx = Kmismatch.build_index "acagacagactt" in
+  check hits_t "dispatches"
+    (Kmismatch.search idx ~engine:Kmismatch.Naive ~pattern:"acaga" ~k:2)
+    (Kmismatch.search idx ~engine:Stub ~pattern:"acaga" ~k:2);
+  (* Duplicate registrations are rejected, by name and by engine. *)
+  (match
+     Kmismatch.Engine_registry.register
+       { naive with Kmismatch.Engine_registry.name = "stub-demo" }
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate name accepted");
+  match
+    Kmismatch.Engine_registry.register
+      { naive with Kmismatch.Engine_registry.name = "fresh-name" }
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate engine accepted"
+
+(* ------------------------------------------------------------------ *)
+
+let test_engines_bench_smoke () = Engines_bench.smoke ()
+
+let () =
+  Alcotest.run "bidir"
+    [
+      ( "schemes",
+        [
+          Alcotest.test_case "tables complete k<=4" `Quick test_schemes_complete;
+          Alcotest.test_case "generic family k=5,6" `Slow test_generic_family;
+          Alcotest.test_case "exact first piece" `Quick test_scheme_exact_start;
+        ] );
+      ( "bidir",
+        [
+          prop_bidir_matches_unidirectional;
+          prop_oss_matches_naive;
+          Alcotest.test_case "engine agrees with naive" `Quick
+            test_bidir_engine_agrees;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "build_index normalizes once" `Quick
+            test_build_index_normalization;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "spelling-insensitive names" `Quick
+            test_engine_spellings;
+          Alcotest.test_case "typed unknown-engine error" `Quick
+            test_engine_of_string_err;
+          Alcotest.test_case "stub engine: one registration" `Quick
+            test_stub_engine_registration;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "engines bench cross-check smoke" `Quick
+            test_engines_bench_smoke;
+        ] );
+    ]

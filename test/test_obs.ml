@@ -375,7 +375,7 @@ let test_search_wrapper_compat () =
         (Kmismatch.engine_name engine ^ " positions wrapper")
         true
         (Kmismatch.positions idx ~engine ~pattern ~k:2 = List.map fst hits))
-    Kmismatch.all_engines
+    (Kmismatch.all_engines ())
 
 let test_mapper_options_compat () =
   let idx = Lazy.force index in

@@ -118,7 +118,7 @@ let test_k_ge_m_uniform () =
             (Printf.sprintf "%s m=%d k=%d" (Kmismatch.engine_name engine) m k)
             expected
             (Kmismatch.search idx ~engine ~pattern ~k))
-        Kmismatch.all_engines)
+        (Kmismatch.all_engines ()))
     [ ("acg", 3); ("acg", 7); ("tttt", 4); ("tttt", max_int); ("acgtacgtgg", 10) ]
 
 (* ------------------------------------------------------------------ *)
@@ -181,7 +181,7 @@ let test_save_load_then_replay () =
         ("loaded index: " ^ Kmismatch.engine_name engine)
         expected
         (Kmismatch.search idx' ~engine ~pattern:case.Oracle.pattern ~k:case.Oracle.k))
-    Kmismatch.all_engines
+    (Kmismatch.all_engines ())
 
 (* ------------------------------------------------------------------ *)
 (* Generator and shrinker properties *)

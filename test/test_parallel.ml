@@ -164,7 +164,7 @@ let test_pattern_longer_than_text () =
         (Kmismatch.engine_name engine ^ " long pattern -> no hits")
         0
         (List.length (Kmismatch.search idx ~engine ~pattern:"acgtacgtacgt" ~k:2)))
-    Kmismatch.all_engines;
+    (Kmismatch.all_engines ());
   let hits, summary =
     Mapper.map_reads ~domains:2 idx ~reads:[ (0, "acgtacgtacgt") ] ~k:2
   in
